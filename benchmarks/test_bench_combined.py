@@ -1,0 +1,53 @@
+"""§4 ablation: the combined technique (reactive-anycast + superprefix).
+
+Paper: "it is only faster than reactive-anycast for the fastest 20% of
+failovers, and it is much worse in the long tail, an undesirable
+tradeoff." This bench runs both and compares the CDFs at several
+percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.experiment import pooled_outcomes
+from repro.core.techniques import Combined, ReactiveAnycast
+from repro.measurement.stats import Cdf
+
+from benchmarks.conftest import report
+
+
+def _run(experiment):
+    out = {}
+    for technique in (ReactiveAnycast(), Combined()):
+        outcomes = pooled_outcomes(experiment.run_all_sites(technique))
+        out[technique.name] = Cdf.from_optional([o.failover_s for o in outcomes])
+    return out
+
+
+def test_combined_vs_reactive(benchmark, experiment):
+    cdfs = benchmark.pedantic(_run, args=(experiment,), rounds=1, iterations=1)
+    reactive = cdfs["reactive-anycast"]
+    combined = cdfs["combined"]
+
+    def fmt(v: float) -> str:
+        return f"{v:.1f}" if math.isfinite(v) else "inf"
+
+    lines = [
+        "| percentile | reactive-anycast | combined |",
+        "|---|---|---|",
+    ]
+    for q in (0.1, 0.2, 0.5, 0.8, 0.9):
+        lines.append(
+            f"| p{int(q * 100)} | {fmt(reactive.quantile(q))}s "
+            f"| {fmt(combined.quantile(q))}s |"
+        )
+    lines.append("")
+    lines.append(
+        "paper: combined faster only for the fastest ~20%, much worse in the tail"
+    )
+    report("§4 ablation — combined vs reactive-anycast failover", lines)
+
+    # Shape: no better at the median, no better in the tail.
+    assert combined.median() >= reactive.median() - 3.0
+    assert combined.quantile(0.9) >= reactive.quantile(0.9) - 10.0

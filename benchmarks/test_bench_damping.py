@@ -1,0 +1,128 @@
+"""Substrate ablation: route flap damping and withdrawal convergence.
+
+Path hunting makes a withdrawn prefix flap at downstream routers, and
+RFC 2439 damping punishes exactly that: routers suppress the flapping
+route and sit out the decay timer. The classic result (Mao et al. 2002)
+is that damping can extend withdrawal convergence far beyond the
+MRAI-driven baseline -- one candidate explanation for the extreme tail
+of the paper's Figure 3 distribution. This bench measures Fig. 3's
+per-peer convergence with and without damping enabled on the simulated
+Internet.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.collector import RouteCollector
+from repro.bgp.damping import DampingConfig
+from repro.bgp.session import DEFAULT_INTERNET_TIMING
+from repro.measurement.convergence import withdrawal_convergence_times
+from repro.measurement.stats import Cdf
+from repro.topology.testbed import SPECIFIC_PREFIX
+
+from benchmarks.conftest import report
+
+#: Aggressive-but-plausible damping: two quick flaps suppress, 2-minute
+#: half-life (shorter than Cisco's 15 min so the bench stays fast; the
+#: direction of the effect is what matters).
+DAMPING = DampingConfig(
+    penalty_per_flap=1000.0,
+    suppress_threshold=2000.0,
+    reuse_threshold=750.0,
+    half_life=120.0,
+    max_penalty=8000.0,
+)
+
+ORIGINS = ("hg-0", "hg-1", "site:sea1", "site:msn")
+
+
+def _convergence_samples(deployment, damping):
+    topology = deployment.topology
+    samples: list[float] = []
+    suppressions = 0
+    for trial, origin in enumerate(ORIGINS):
+        network = topology.build_network(
+            seed=500 + trial, timing=DEFAULT_INTERNET_TIMING, damping=damping
+        )
+        collector = RouteCollector("ris", network)
+        for node in network.nodes():
+            if node.startswith(("t1-", "tr-", "rg-")):
+                collector.attach(node)
+        network.announce(origin, SPECIFIC_PREFIX)
+        network.converge()
+        collector.clear()
+        event_time = network.now
+        network.withdraw(origin, SPECIFIC_PREFIX)
+        network.converge()
+        samples.extend(
+            withdrawal_convergence_times(collector, SPECIFIC_PREFIX, event_time).values()
+        )
+        if damping is not None:
+            suppressions += sum(
+                router.damping.suppressions for router in network.routers.values()
+            )
+    return samples, suppressions
+
+
+def _failover_samples(deployment, damping):
+    """Reactive-anycast failover: after the withdrawal's path hunting,
+    the fresh backup announcements hit routers that may have *suppressed*
+    the flapping (prefix, neighbor) pairs -- damping's real bite."""
+    from repro.core.experiment import FailoverConfig, FailoverExperiment, pooled_outcomes
+    from repro.core.techniques import ReactiveAnycast
+
+    config = FailoverConfig(
+        probe_duration=600.0, targets_per_site=15, damping=damping
+    )
+    experiment = FailoverExperiment(deployment.topology, deployment, config)
+    outcomes = pooled_outcomes(
+        experiment.run_all_sites(ReactiveAnycast(), ["sea1", "msn", "slc"])
+    )
+    return Cdf.from_optional([o.failover_s for o in outcomes])
+
+
+def _run(deployment):
+    plain_wd, _ = _convergence_samples(deployment, damping=None)
+    damped_wd, suppressions = _convergence_samples(deployment, damping=DAMPING)
+    plain_fo = _failover_samples(deployment, damping=None)
+    damped_fo = _failover_samples(deployment, damping=DAMPING)
+    return Cdf(plain_wd), Cdf(damped_wd), suppressions, plain_fo, damped_fo
+
+
+def test_damping_effects(benchmark, deployment):
+    plain_wd, damped_wd, suppressions, plain_fo, damped_fo = benchmark.pedantic(
+        _run, args=(deployment,), rounds=1, iterations=1
+    )
+    import math
+
+    def fmt(v):
+        return f"{v:.1f}" if math.isfinite(v) else "inf"
+
+    lines = [
+        "| metric | no damping | RFC 2439 damping |",
+        "|---|---|---|",
+        f"| withdrawal convergence p50 | {plain_wd.median():.1f}s | {damped_wd.median():.1f}s |",
+        f"| withdrawal convergence p90 | {plain_wd.quantile(0.9):.1f}s | {damped_wd.quantile(0.9):.1f}s |",
+        f"| reactive-anycast failover p50 | {fmt(plain_fo.median())}s | {fmt(damped_fo.median())}s |",
+        f"| reactive-anycast failover p90 | {fmt(plain_fo.quantile(0.9))}s | {fmt(damped_fo.quantile(0.9))}s |",
+        f"| failover censored (never stabilized) | {plain_fo.censored}/{plain_fo.n} "
+        f"| {damped_fo.censored}/{damped_fo.n} |",
+        "",
+        f"suppression episodes during pure withdrawals: {suppressions}",
+        "finding: damping barely moves pure-withdrawal convergence (the",
+        "routes die anyway) but penalizes reactive-anycast, whose fresh",
+        "backup announcements arrive at routers still suppressing the",
+        "flapped prefix -- an operational caveat for the technique.",
+    ]
+    report("Substrate ablation — route flap damping", lines)
+
+    assert suppressions > 0, "path hunting must trigger some suppression"
+    # Pure-withdrawal convergence is insensitive to damping...
+    assert abs(damped_wd.median() - plain_wd.median()) < 0.3 * plain_wd.median()
+    # ...but reactive-anycast failover degrades (slower tail and/or
+    # targets stuck behind suppression past the probing window).
+    damped_worse = (
+        damped_fo.quantile(0.9) > plain_fo.quantile(0.9)
+        or damped_fo.censored > plain_fo.censored
+        or damped_fo.median() > plain_fo.median()
+    )
+    assert damped_worse

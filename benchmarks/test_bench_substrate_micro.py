@@ -1,0 +1,73 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper figure: these keep the simulator's own performance visible
+(events/second, LPM lookups/second, convergence cost per prefix), so
+scale-up regressions show in the same `--benchmark-only` run that checks
+the science.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bgp.engine import EventEngine
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.lpm import LpmTrie
+from repro.topology.generator import generate_topology
+from repro.topology.testbed import SPECIFIC_PREFIX
+
+from tests.conftest import FAST_TIMING
+
+
+def test_engine_throughput(benchmark):
+    """Schedule+execute cost of the event loop (100k events)."""
+
+    def run():
+        engine = EventEngine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for i in range(100_000):
+            engine.schedule(i * 1e-6, tick)
+        engine.run_until_idle()
+        return count
+
+    assert benchmark(run) == 100_000
+
+
+def test_lpm_lookup_throughput(benchmark):
+    """LPM over a 10k-prefix table, 50k lookups."""
+    rng = random.Random(0)
+    trie: LpmTrie = LpmTrie()
+    for _ in range(10_000):
+        value = rng.getrandbits(32)
+        length = rng.randint(8, 28)
+        trie.insert(IPv4Prefix.of(IPv4Address(value), length), length)
+    probes = [IPv4Address(rng.getrandbits(32)) for _ in range(50_000)]
+
+    def run():
+        hits = 0
+        for probe in probes:
+            if trie.lookup(probe) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(run)
+    assert 0 < hits <= 50_000
+
+
+def test_bgp_convergence_cost(benchmark):
+    """Full announce+converge on the default ~200-AS topology."""
+    topology = generate_topology()
+
+    def run():
+        network = topology.build_network(seed=1, timing=FAST_TIMING)
+        network.announce("hg-0", SPECIFIC_PREFIX)
+        network.converge()
+        return network.engine.processed
+
+    events = benchmark(run)
+    assert events > 100

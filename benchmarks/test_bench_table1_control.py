@@ -1,0 +1,61 @@
+"""Table 1: traffic control of proactive-prepending, per site.
+
+Paper rows: % of nearby targets *not* routed to the site by anycast
+(row 2), and of those, the % that prepending 3x / 5x at the other sites
+can steer to the site (rows 3-4). Headline shapes: most sites ~55-80%;
+sea1 pathological at 6%; ath near-total at 97%; ams dominated by anycast
+already (15% row 2).
+"""
+
+from __future__ import annotations
+
+from repro.measurement.catchment import anycast_catchment
+from repro.measurement.control import measure_control_all_sites
+
+from benchmarks.conftest import report
+
+#: Table 1 as printed in the paper: (not-by-anycast %, prepend3 %, prepend5 %).
+PAPER_TABLE1 = {
+    "ams": (15, 55, 54),
+    "ath": (90, 97, 95),
+    "bos": (80, 58, 69),
+    "atl": (95, 58, 75),
+    "sea1": (87, 6, 6),
+    "slc": (80, 57, 64),
+    "sea2": (69, 78, 87),
+    "msn": (80, 28, 68),
+}
+
+
+def _measure(deployment):
+    catchment = anycast_catchment(deployment.topology, deployment)
+    return measure_control_all_sites(deployment.topology, deployment, catchment)
+
+
+def test_table1_control(benchmark, deployment):
+    results = benchmark.pedantic(_measure, args=(deployment,), rounds=1, iterations=1)
+
+    lines = [
+        "| site | not-by-anycast (paper/measured) | prepend3 (paper/measured) | prepend5 (paper/measured) |",
+        "|---|---|---|---|",
+    ]
+    for site, result in results.items():
+        paper = PAPER_TABLE1[site]
+        lines.append(
+            f"| {site} | {paper[0]}% / {result.not_routed_by_anycast:.0%} "
+            f"| {paper[1]}% / {result.controllable[3]:.0%} "
+            f"| {paper[2]}% / {result.controllable[5]:.0%} |"
+        )
+    report("Table 1 — proactive-prepending traffic control", lines)
+
+    # Shape assertions.
+    assert results["sea1"].controllable[3] < 0.2, "sea1 must stay pathological"
+    assert results["ath"].controllable[3] > 0.85, "ath must be near-total"
+    assert results["ams"].not_routed_by_anycast < 0.4, "anycast must favor ams"
+    majority = [
+        site for site, r in results.items()
+        if site not in ("sea1", "ams") and r.controllable[3] >= 0.5
+    ]
+    assert len(majority) >= 5, "most sites control a majority with prepend 3"
+    for site, result in results.items():
+        assert result.controllable[5] >= result.controllable[3] - 0.05, site

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Anycast agility: load shifting with prepending playbooks.
+
+§4 lists load distribution among the control goals, and the related
+work (Rizvi et al. 2022) precomputes "network playbooks" of announcement
+configurations to shift anycast catchments under stress. This example:
+
+1. precomputes drain plays (per-site prepending at 3 and 5);
+2. simulates a hotspot at the busiest site and picks the best play;
+3. shows the catchment before and after, plus hybrid DNS steering for
+   clients whose latency the shift inflated.
+
+Run:  python examples/anycast_agility.py
+"""
+
+from repro import build_deployment
+from repro.core.playbook import Playbook
+from repro.dns.hybrid import build_steering_plan
+from repro.measurement.catchment import anycast_catchment
+from repro.measurement.performance import SiteRttTable, analyze_performance
+
+
+def main() -> None:
+    deployment = build_deployment()
+    topology = deployment.topology
+
+    print("precomputing drain plays (prepend 3 and 5 per site) ...")
+    playbook = Playbook(topology, deployment)
+    playbook.build_drain_plays(prepend_levels=(0, 3, 5))
+    baseline = playbook.baseline()
+
+    hot_site = max(
+        (site for site, _ in baseline.catchment),
+        key=lambda s: baseline.load_share(s),
+    )
+    print(f"\nbaseline catchment shares:")
+    for site, count in baseline.catchment:
+        marker = "  <-- hotspot" if site == hot_site else ""
+        print(f"  {site:6s} {baseline.load_share(site):6.1%} ({count} clients){marker}")
+
+    play = playbook.best_drain(hot_site, max_overload=0.6)
+    print(f"\nbest drain play for {hot_site}: prepends {dict(play.prepends)}")
+    print("post-play shares:")
+    for site, count in play.catchment:
+        delta = play.load_share(site) - baseline.load_share(site)
+        print(f"  {site:6s} {play.load_share(site):6.1%} ({delta:+.1%})")
+    assert play.unrouted == 0, "no client may be blackholed by a play"
+
+    # The shift costs some clients latency; steer the worst via DNS.
+    table = SiteRttTable(topology, deployment)
+    catchment = anycast_catchment(topology, deployment)
+    report = analyze_performance(topology, deployment, catchment, table)
+    plan = build_steering_plan(report, inflation_threshold_ms=10.0, max_clients=10)
+    print(f"\nhybrid steering plan for the {len(plan)} worst-inflated clients:")
+    for entry in plan[:5]:
+        print(f"  {entry.client:18s} -> {entry.site} "
+              f"(recovers {entry.anycast_inflation_ms:.1f} ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Availability timelines through realistic outage episodes.
+
+§3 frames availability as a budget ("a few minutes per month"). This
+example replays three operational episodes against the serving-site
+catchment and charts service availability over time for different
+techniques:
+
+1. clean failure + recovery of a site;
+2. a rolling two-site regional outage;
+3. a flapping site (fails and recovers twice).
+
+Run:  python examples/outage_timeline.py
+"""
+
+from repro import Anycast, ReactiveAnycast, Unicast, build_deployment
+from repro.core.scenarios import ScenarioRunner
+from repro.measurement.catchment import anycast_catchment
+
+
+def sparkline(values: list[float]) -> str:
+    glyphs = " ._-=^#"
+    return "".join(glyphs[min(len(glyphs) - 1, int(v * (len(glyphs) - 1)))] for v in values)
+
+
+def run(deployment, technique, label, events, targets, site="sea1"):
+    runner = ScenarioRunner(
+        topology=deployment.topology,
+        deployment=deployment,
+        technique=technique,
+        specific_site=site,
+        duration_s=240.0,
+        bucket_s=10.0,
+        target_nodes=targets,
+    )
+    for at, kind, which in events:
+        runner.add_event(at, kind, which)
+    result = runner.run()
+    availability = result.availability()
+    print(f"  {label:20s} |{sparkline(availability)}| "
+          f"mean {result.mean_availability():5.1%}  "
+          f"downtime(<50%) {result.downtime_s():4.0f}s")
+
+
+def main() -> None:
+    deployment = build_deployment()
+    catchment = anycast_catchment(deployment.topology, deployment)
+    sea1_clients = [n for n, s in catchment.items() if s == "sea1"][:12]
+    print(f"targets: {len(sea1_clients)} clients in sea1's catchment; "
+          "one character per 10 s bucket\n")
+
+    print("episode 1: sea1 fails at t=60, recovers at t=150")
+    events = [(60.0, "fail", "sea1"), (150.0, "recover", "sea1")]
+    for technique, label in (
+        (Unicast(), "unicast (no DNS)"),
+        (Anycast(), "anycast"),
+        (ReactiveAnycast(), "reactive-anycast"),
+    ):
+        run(deployment, technique, label, events, sea1_clients)
+
+    print("\nepisode 2: rolling outage, sea1 at t=60 then sea2 at t=90")
+    events = [(60.0, "fail", "sea1"), (90.0, "fail", "sea2")]
+    for technique, label in ((Anycast(), "anycast"), (ReactiveAnycast(), "reactive-anycast")):
+        run(deployment, technique, label, events, sea1_clients)
+
+    print("\nepisode 3: sea1 flaps (fail 60, up 110, fail 160, up 200)")
+    events = [
+        (60.0, "fail", "sea1"), (110.0, "recover", "sea1"),
+        (160.0, "fail", "sea1"), (200.0, "recover", "sea1"),
+    ]
+    for technique, label in ((Anycast(), "anycast"), (ReactiveAnycast(), "reactive-anycast")):
+        run(deployment, technique, label, events, sea1_clients)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""Route flap damping (RFC 2439).
+
+Path hunting makes a withdrawn prefix *flap* at downstream routers:
+each exploration step replaces or withdraws the route again. Routers
+that deploy flap damping accumulate a penalty per flap and suppress the
+route once the penalty crosses a threshold, releasing it only after
+exponential decay brings the penalty back under the reuse level.
+
+Damping is the classic explanation for the extreme tail of withdrawal
+convergence (and for prolonged unreachability after a flapping episode);
+the simulator supports it as an opt-in per-router feature so its effect
+on the paper's Figure 3 distribution can be measured
+(``benchmarks/test_bench_damping.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.addr import IPv4Prefix
+
+if TYPE_CHECKING:
+    from repro.bgp.engine import EventEngine
+
+
+@dataclass(frozen=True, slots=True)
+class DampingConfig:
+    """RFC 2439-style parameters (Cisco-like defaults, in simulated s)."""
+
+    penalty_per_flap: float = 1000.0
+    suppress_threshold: float = 2000.0
+    reuse_threshold: float = 750.0
+    #: penalty half-life, seconds
+    half_life: float = 900.0
+    #: ceiling on accumulated penalty (bounds suppression time)
+    max_penalty: float = 12000.0
+
+    def __post_init__(self) -> None:
+        if self.half_life <= 0:
+            raise ValueError("half_life must be positive")
+        if self.reuse_threshold >= self.suppress_threshold:
+            raise ValueError("reuse_threshold must be below suppress_threshold")
+        if self.penalty_per_flap <= 0:
+            raise ValueError("penalty_per_flap must be positive")
+
+
+@dataclass(slots=True)
+class _FlapState:
+    penalty: float = 0.0
+    updated_at: float = 0.0
+    suppressed: bool = False
+
+
+class RouteDamping:
+    """Per-router damping state across (prefix, neighbor) pairs.
+
+    ``on_release`` is called (with the prefix) when a suppressed route
+    becomes reusable, so the router can rerun its decision process.
+    """
+
+    def __init__(
+        self,
+        engine: "EventEngine",
+        config: DampingConfig,
+        on_release: Callable[[IPv4Prefix], None],
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.on_release = on_release
+        self._state: dict[tuple[IPv4Prefix, str], _FlapState] = {}
+        #: flaps recorded (diagnostics)
+        self.flaps = 0
+        #: suppression episodes started (diagnostics)
+        self.suppressions = 0
+
+    # ------------------------------------------------------------------
+
+    def _decayed_penalty(self, state: _FlapState, now: float) -> float:
+        elapsed = max(0.0, now - state.updated_at)
+        return state.penalty * math.pow(2.0, -elapsed / self.config.half_life)
+
+    def record_flap(self, prefix: IPv4Prefix, neighbor: str) -> None:
+        """Charge one flap to (prefix, neighbor) and maybe suppress."""
+        now = self.engine.now
+        state = self._state.setdefault((prefix, neighbor), _FlapState())
+        penalty = self._decayed_penalty(state, now) + self.config.penalty_per_flap
+        state.penalty = min(penalty, self.config.max_penalty)
+        state.updated_at = now
+        self.flaps += 1
+        if not state.suppressed and state.penalty >= self.config.suppress_threshold:
+            state.suppressed = True
+            self.suppressions += 1
+            self._schedule_release(prefix, neighbor, state)
+
+    def _schedule_release(
+        self, prefix: IPv4Prefix, neighbor: str, state: _FlapState
+    ) -> None:
+        # Time until the penalty decays to the reuse threshold.
+        ratio = state.penalty / self.config.reuse_threshold
+        delay = self.config.half_life * math.log2(max(ratio, 1.0))
+        self.engine.schedule(delay + 1e-6, lambda: self._maybe_release(prefix, neighbor))
+
+    def _maybe_release(self, prefix: IPv4Prefix, neighbor: str) -> None:
+        state = self._state.get((prefix, neighbor))
+        if state is None or not state.suppressed:
+            return
+        now = self.engine.now
+        penalty = self._decayed_penalty(state, now)
+        if penalty <= self.config.reuse_threshold:
+            state.penalty = penalty
+            state.updated_at = now
+            state.suppressed = False
+            self.on_release(prefix)
+        else:
+            # More flaps arrived while suppressed; wait out the new decay.
+            self._schedule_release(prefix, neighbor, state)
+
+    # ------------------------------------------------------------------
+
+    def is_suppressed(self, prefix: IPv4Prefix, neighbor: str) -> bool:
+        state = self._state.get((prefix, neighbor))
+        return state is not None and state.suppressed
+
+    def suppressed_neighbors(self, prefix: IPv4Prefix) -> set[str]:
+        """Neighbors whose routes for ``prefix`` are currently unusable."""
+        return {
+            neighbor
+            for (pfx, neighbor), state in self._state.items()
+            if pfx == prefix and state.suppressed
+        }
+
+    def penalty(self, prefix: IPv4Prefix, neighbor: str) -> float:
+        """Current (decayed) penalty, for tests and diagnostics."""
+        state = self._state.get((prefix, neighbor))
+        if state is None:
+            return 0.0
+        return self._decayed_penalty(state, self.engine.now)

@@ -1,0 +1,92 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event loop: callbacks are scheduled at absolute
+simulated times and executed in (time, insertion order). All BGP message
+delivery, MRAI timer expiry, probing, and failure injection in this repo
+runs on one :class:`EventEngine`, so a whole experiment shares a single
+simulated clock measured in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class EventEngine:
+    """A deterministic discrete-event scheduler.
+
+    Events scheduled for the same instant run in insertion order, which
+    keeps runs reproducible for a fixed random seed.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} < now {self._now}")
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    def step(self) -> bool:
+        """Execute the next event; returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        when, _, callback = heapq.heappop(self._queue)
+        self._now = when
+        self._processed += 1
+        callback()
+        return True
+
+    def run_until(self, deadline: float) -> None:
+        """Execute events until the clock would pass ``deadline``.
+
+        The clock is left at ``deadline`` (events at exactly ``deadline``
+        are executed).
+        """
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if deadline > self._now:
+            self._now = deadline
+
+    def run_until_idle(self, max_events: int | None = None) -> None:
+        """Execute events until the queue drains.
+
+        ``max_events`` is a safety valve against livelock (e.g. a routing
+        oscillation); exceeding it raises ``RuntimeError``.
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise RuntimeError(f"engine did not go idle within {max_events} events")
+
+    def advance(self, delta: float) -> None:
+        """Run events for ``delta`` more seconds of simulated time."""
+        self.run_until(self._now + delta)

@@ -1,0 +1,35 @@
+"""BGP update messages exchanged between simulated routers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addr import IPv4Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class Announcement:
+    """Announce reachability of ``prefix`` via ``as_path``.
+
+    ``sender`` is the node id of the announcing router; the path already
+    includes the sender's ASN (and any prepending it applied on export).
+    ``med`` is set when the sender originates the prefix with one (MED is
+    non-transitive: transit routers reset it to 0 on export).
+    """
+
+    sender: str
+    prefix: IPv4Prefix
+    as_path: tuple[int, ...]
+    origin_node: str
+    med: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Withdrawal:
+    """Withdraw the sender's route to ``prefix``."""
+
+    sender: str
+    prefix: IPv4Prefix
+
+
+Update = Announcement | Withdrawal

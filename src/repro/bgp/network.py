@@ -1,0 +1,241 @@
+"""Assembling routers and sessions into a simulated internetwork.
+
+:class:`BgpNetwork` owns the event engine, the RNG, every router, and the
+adjacencies between them. Higher layers (topology generators, the CDN
+testbed, experiments) talk to the network rather than to individual
+routers or sessions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bgp.damping import DampingConfig, RouteDamping
+from repro.bgp.engine import EventEngine
+from repro.bgp.policy import Relationship
+from repro.bgp.router import BgpRouter
+from repro.bgp.session import Session, SessionTiming
+from repro.net.addr import IPv4Address, IPv4Prefix
+
+
+class BgpNetwork:
+    """A collection of BGP routers plus the engine that drives them."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default_timing: SessionTiming | None = None,
+        damping: "DampingConfig | None" = None,
+    ) -> None:
+        self.engine = EventEngine()
+        self.rng = random.Random(seed)
+        self.default_timing = default_timing or SessionTiming()
+        self.damping_config = damping
+        self.routers: dict[str, BgpRouter] = {}
+        #: adjacency list: node -> {neighbor node: relationship of the
+        #: *neighbor* from the node's perspective}.
+        self.adjacency: dict[str, dict[str, Relationship]] = {}
+        #: per-link one-way data-plane latency in seconds, keyed by
+        #: unordered node pair; used by the forwarding plane for RTTs.
+        self.link_latency: dict[frozenset[str], float] = {}
+        #: failed links awaiting restore: pair -> (a, b, rel of b from a)
+        self._failed_links: dict[frozenset[str], tuple[str, str, Relationship]] = {}
+        #: per-link session timing, for faithful restore after failure
+        self._link_timing: dict[frozenset[str], SessionTiming] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def add_router(self, node_id: str, asn: int) -> BgpRouter:
+        """Create a router; node ids are unique, ASNs may be shared (sites)."""
+        if node_id in self.routers:
+            raise ValueError(f"duplicate node id {node_id!r}")
+        router = BgpRouter(node_id, asn)
+        if self.default_timing.fib_delay > 0:
+            mean = self.default_timing.fib_delay
+
+            def sample() -> tuple["EventEngine", float]:
+                return self.engine, self.rng.uniform(0.5 * mean, 1.5 * mean)
+
+            router.fib_delay_source = sample
+        if self.damping_config is not None:
+            router.damping = RouteDamping(
+                self.engine,
+                self.damping_config,
+                on_release=lambda prefix, r=router: r._reselect(prefix),
+            )
+        self.routers[node_id] = router
+        self.adjacency[node_id] = {}
+        return router
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        relationship_of_b: Relationship,
+        timing: SessionTiming | None = None,
+        latency: float | None = None,
+    ) -> None:
+        """Create a bidirectional adjacency between routers ``a`` and ``b``.
+
+        ``relationship_of_b`` states what ``b`` is from ``a``'s point of
+        view; the reverse session gets the inverse relationship. E.g.
+        ``connect("stub", "transit", Relationship.PROVIDER)`` makes
+        ``transit`` a provider of ``stub``.
+        """
+        if a == b:
+            raise ValueError(f"cannot connect {a!r} to itself")
+        router_a = self.routers[a]
+        router_b = self.routers[b]
+        if b in self.adjacency[a]:
+            raise ValueError(f"link {a!r} <-> {b!r} already exists")
+        timing = timing or self.default_timing
+        session_ab = Session(
+            self.engine, self.rng, a, b, relationship_of_b, router_b.receive, timing
+        )
+        session_ba = Session(
+            self.engine,
+            self.rng,
+            b,
+            a,
+            relationship_of_b.inverse(),
+            router_a.receive,
+            timing,
+        )
+        self.adjacency[a][b] = relationship_of_b
+        self.adjacency[b][a] = relationship_of_b.inverse()
+        self.link_latency[frozenset((a, b))] = (
+            latency if latency is not None else timing.latency
+        )
+        self._link_timing[frozenset((a, b))] = timing
+        router_a.add_session(session_ab)
+        router_b.add_session(session_ba)
+
+    def add_provider(self, customer: str, provider: str, **kwargs) -> None:
+        """Convenience: make ``provider`` a provider of ``customer``."""
+        self.connect(customer, provider, Relationship.PROVIDER, **kwargs)
+
+    def add_peering(self, a: str, b: str, **kwargs) -> None:
+        """Convenience: settlement-free peering between ``a`` and ``b``."""
+        self.connect(a, b, Relationship.PEER, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Tear down the adjacency between ``a`` and ``b``.
+
+        Both routers flush the routes learned over the link and rerun
+        their decision processes; updates already in flight on the link
+        are lost. The link can be brought back with :meth:`restore_link`.
+        """
+        if b not in self.adjacency.get(a, {}):
+            raise KeyError(f"no link {a!r} <-> {b!r}")
+        # Close the reverse directions first so in-flight deliveries die.
+        self.routers[a].sessions[b].closed = True
+        self.routers[b].sessions[a].closed = True
+        self.routers[a].remove_session(b)
+        self.routers[b].remove_session(a)
+        relationship = self.adjacency[a].pop(b)
+        self.adjacency[b].pop(a)
+        self._failed_links[frozenset((a, b))] = (a, b, relationship)
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Re-establish a previously failed adjacency.
+
+        Fresh sessions are created with the original relationship and
+        timing, and each side receives the other's current table, as at
+        BGP session establishment.
+        """
+        key = frozenset((a, b))
+        stored = self._failed_links.pop(key, None)
+        if stored is None:
+            raise KeyError(f"link {a!r} <-> {b!r} was not failed")
+        orig_a, orig_b, relationship = stored
+        self.connect(
+            orig_a,
+            orig_b,
+            relationship,
+            timing=self._link_timing.get(key),
+            latency=self.link_latency.get(key),
+        )
+
+    def fail_node(self, node: str) -> list[str]:
+        """Fail every adjacency of ``node`` (router crash / facility
+        outage). Returns the now-disconnected neighbor list."""
+        neighbors = list(self.adjacency.get(node, {}))
+        for neighbor in neighbors:
+            self.fail_link(node, neighbor)
+        return neighbors
+
+    # ------------------------------------------------------------------
+    # Announcement control (the knobs experiments turn)
+
+    def announce(
+        self,
+        node: str,
+        prefix: IPv4Prefix,
+        prepend: int = 0,
+        neighbors: frozenset[str] | None = None,
+        med: int = 0,
+    ) -> None:
+        """Originate ``prefix`` at ``node`` (optionally prepended/scoped,
+        optionally carrying a MED for supporting neighbors)."""
+        self.routers[node].originate(
+            prefix, prepend=prepend, neighbors=neighbors, med=med
+        )
+
+    def withdraw(self, node: str, prefix: IPv4Prefix) -> bool:
+        """Withdraw ``node``'s origination of ``prefix``."""
+        return self.routers[node].withdraw_origin(prefix)
+
+    def withdraw_all(self, node: str) -> list[IPv4Prefix]:
+        """Withdraw every prefix originated at ``node`` (site failure)."""
+        prefixes = self.routers[node].originated_prefixes()
+        for prefix in prefixes:
+            self.routers[node].withdraw_origin(prefix)
+        return prefixes
+
+    # ------------------------------------------------------------------
+    # Time control
+
+    def run_for(self, seconds: float) -> None:
+        """Advance simulated time by ``seconds``."""
+        self.engine.advance(seconds)
+
+    def converge(self, max_seconds: float = 3600.0) -> float:
+        """Run until no BGP events remain (or ``max_seconds`` elapse).
+
+        Returns the simulated time at which the network went quiet.
+        """
+        deadline = self.engine.now + max_seconds
+        while self.engine.pending and self.engine.now < deadline:
+            self.engine.step()
+        return self.engine.now
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+
+    def router(self, node_id: str) -> BgpRouter:
+        return self.routers[node_id]
+
+    def next_hop(self, node_id: str, address: IPv4Address) -> str | None:
+        """FIB lookup at ``node_id``: next-hop node for ``address``.
+
+        Returns the node's own id when the covering prefix is locally
+        originated, or None when there is no route.
+        """
+        match = self.routers[node_id].fib.lookup(address)
+        if match is None:
+            return None
+        return match[1]
+
+    def nodes(self) -> list[str]:
+        return list(self.routers)
+
+    def neighbors(self, node_id: str) -> dict[str, Relationship]:
+        return dict(self.adjacency[node_id])

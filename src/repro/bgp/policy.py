@@ -1,0 +1,70 @@
+"""Gao-Rexford routing policies.
+
+Import policy assigns LOCAL_PREF from the business relationship of the
+session a route arrives on (customer routes most preferred, then peer,
+then provider). Export policy enforces valley-free routing: routes learned
+from a customer are exported to everyone; routes learned from a peer or a
+provider are exported only to customers.
+
+Appendix C.1 of the paper explains most of proactive-prepending's lost
+control with exactly these preferences ("the other route is preferred by
+standard BGP policy, e.g. it was via a customer rather than a peer"), so
+the simulator implements them verbatim.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Relationship(enum.Enum):
+    """The relationship of a session, from the perspective of one router."""
+
+    CUSTOMER = "customer"  # the neighbor is my customer
+    PEER = "peer"          # settlement-free peer
+    PROVIDER = "provider"  # the neighbor is my provider
+    COLLECTOR = "collector"  # route-collector feed (export-everything, import-nothing)
+
+    def inverse(self) -> "Relationship":
+        """The same link as seen from the other end."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return self
+
+
+#: LOCAL_PREF assigned on import by relationship. Customer routes earn
+#: revenue, peer routes are free, provider routes cost money.
+LOCAL_PREF: dict[Relationship, int] = {
+    Relationship.CUSTOMER: 300,
+    Relationship.PEER: 200,
+    Relationship.PROVIDER: 100,
+}
+
+#: LOCAL_PREF for locally originated routes (always preferred).
+LOCAL_ORIGIN_PREF = 400
+
+
+def import_local_pref(relationship: Relationship) -> int:
+    """LOCAL_PREF for a route learned over a session of this type."""
+    if relationship is Relationship.COLLECTOR:
+        raise ValueError("collector sessions never import routes")
+    return LOCAL_PREF[relationship]
+
+
+def should_export(learned_over: Relationship | None, export_over: Relationship) -> bool:
+    """Valley-free export rule.
+
+    ``learned_over`` is the relationship of the session the best route was
+    learned on (None for locally originated routes). ``export_over`` is the
+    relationship of the session we are deciding whether to export on.
+    """
+    if export_over is Relationship.COLLECTOR:
+        return True  # collectors receive the full table
+    if learned_over is None:
+        return True  # originate to everyone
+    if learned_over is Relationship.CUSTOMER:
+        return True  # customer routes go to everyone
+    # Peer/provider routes are only exported to customers.
+    return export_over is Relationship.CUSTOMER

@@ -1,0 +1,103 @@
+"""Routing information bases.
+
+Each router keeps an Adj-RIB-In (the routes each neighbor has advertised
+and not withdrawn) and a Loc-RIB (the selected best route per prefix).
+Withdrawal path hunting exists precisely because Adj-RIB-In entries from
+other neighbors remain valid-looking after the origin withdraws: the
+decision process keeps promoting them until withdrawals arrive on every
+session.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.route import Route, select_best
+from repro.net.addr import IPv4Prefix
+
+
+class AdjRibIn:
+    """Per-neighbor advertised routes, indexed by prefix."""
+
+    def __init__(self) -> None:
+        self._routes: dict[IPv4Prefix, dict[str, Route]] = {}
+
+    def update(self, prefix: IPv4Prefix, neighbor: str, route: Route) -> None:
+        """Store ``route`` as the current advertisement from ``neighbor``."""
+        self._routes.setdefault(prefix, {})[neighbor] = route
+
+    def withdraw(self, prefix: IPv4Prefix, neighbor: str) -> bool:
+        """Remove ``neighbor``'s advertisement; True if one existed."""
+        per_prefix = self._routes.get(prefix)
+        if per_prefix is None or neighbor not in per_prefix:
+            return False
+        del per_prefix[neighbor]
+        if not per_prefix:
+            del self._routes[prefix]
+        return True
+
+    def candidates(self, prefix: IPv4Prefix) -> list[Route]:
+        """All currently advertised routes for ``prefix``."""
+        return list(self._routes.get(prefix, {}).values())
+
+    def route_from(self, prefix: IPv4Prefix, neighbor: str) -> Route | None:
+        """The advertisement from one neighbor, if any."""
+        return self._routes.get(prefix, {}).get(neighbor)
+
+    def prefixes(self) -> list[IPv4Prefix]:
+        """All prefixes with at least one advertisement."""
+        return list(self._routes)
+
+    def drop_neighbor(self, neighbor: str) -> list[IPv4Prefix]:
+        """Remove every advertisement from ``neighbor`` (session teardown).
+
+        Returns the prefixes affected, so the caller can rerun the decision
+        process for each.
+        """
+        affected = []
+        for prefix in list(self._routes):
+            if self.withdraw(prefix, neighbor):
+                affected.append(prefix)
+        return affected
+
+
+class LocRib:
+    """Selected best route per prefix."""
+
+    def __init__(self) -> None:
+        self._best: dict[IPv4Prefix, Route] = {}
+
+    def get(self, prefix: IPv4Prefix) -> Route | None:
+        return self._best.get(prefix)
+
+    def set(self, prefix: IPv4Prefix, route: Route | None) -> None:
+        if route is None:
+            self._best.pop(prefix, None)
+        else:
+            self._best[prefix] = route
+
+    def items(self) -> list[tuple[IPv4Prefix, Route]]:
+        return list(self._best.items())
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+
+def decide(
+    prefix: IPv4Prefix,
+    adj_rib_in: AdjRibIn,
+    local_route: Route | None,
+    exclude_neighbors: set[str] | None = None,
+) -> Route | None:
+    """Run the decision process for one prefix.
+
+    ``local_route`` is the locally originated route, if this router
+    originates the prefix; it carries LOCAL_ORIGIN_PREF and therefore
+    always wins while present. ``exclude_neighbors`` removes routes from
+    suppressed neighbors (route flap damping) from consideration without
+    touching the Adj-RIB-In.
+    """
+    candidates = adj_rib_in.candidates(prefix)
+    if exclude_neighbors:
+        candidates = [r for r in candidates if r.learned_from not in exclude_neighbors]
+    if local_route is not None:
+        candidates.append(local_route)
+    return select_best(candidates)

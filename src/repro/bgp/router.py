@@ -1,0 +1,289 @@
+"""A BGP speaker.
+
+One :class:`BgpRouter` models one AS's routing view -- or, for the CDN,
+one *site*: PEERING announces from a single ASN at many sites, so several
+routers may share an ASN while keeping independent sessions and RIBs
+(there is no iBGP between PEERING sites).
+
+The router implements the standard update-processing loop: import filter
+(AS-path loop rejection), Adj-RIB-In maintenance, best-path selection,
+FIB installation, and policy-filtered export with per-session MRAI pacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.bgp.messages import Announcement, Update, Withdrawal
+from repro.bgp.policy import (
+    LOCAL_ORIGIN_PREF,
+    Relationship,
+    import_local_pref,
+    should_export,
+)
+from repro.bgp.rib import AdjRibIn, LocRib, decide
+from repro.bgp.route import Route
+from repro.bgp.session import Session
+from repro.net.addr import IPv4Prefix
+from repro.net.lpm import LpmTrie
+
+if TYPE_CHECKING:
+    from repro.bgp.damping import RouteDamping
+    from repro.bgp.engine import EventEngine
+
+
+@dataclass(frozen=True, slots=True)
+class OriginConfig:
+    """How this router originates one prefix.
+
+    Attributes:
+        prepend: extra copies of the ASN on the exported path
+            (proactive-prepending announces backup routes with 3 or 5).
+        neighbors: if not None, export the origination only to these
+            remote node ids (the paper's refinement of announcing
+            prepended routes only to neighbors that also connect to the
+            intended site).
+        med: Multi-Exit Discriminator attached to the exported
+            announcements (the §4 alternative to prepending for
+            neighbors that honour MED).
+    """
+
+    prepend: int = 0
+    neighbors: frozenset[str] | None = None
+    med: int = 0
+
+    def exports_to(self, remote: str) -> bool:
+        return self.neighbors is None or remote in self.neighbors
+
+
+class BgpRouter:
+    """A BGP speaker identified by ``node_id`` and owned by AS ``asn``."""
+
+    def __init__(self, node_id: str, asn: int) -> None:
+        self.node_id = node_id
+        self.asn = asn
+        self.sessions: dict[str, Session] = {}
+        self.adj_rib_in = AdjRibIn()
+        self.loc_rib = LocRib()
+        #: FIB mapping prefix -> next-hop node id; ``node_id`` itself means
+        #: locally delivered (the prefix is originated here).
+        self.fib: LpmTrie[str] = LpmTrie()
+        self._origins: dict[IPv4Prefix, OriginConfig] = {}
+        #: optional RIB->FIB download lag, wired by BgpNetwork: returns
+        #: (engine, delay sampler). When unset, FIB updates are immediate.
+        self.fib_delay_source: Callable[[], tuple["EventEngine", float]] | None = None
+        #: optional route flap damping, wired by BgpNetwork
+        self.damping: "RouteDamping | None" = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+
+    def add_session(self, session: Session) -> None:
+        """Register the outgoing half of an adjacency toward a neighbor."""
+        if session.local != self.node_id:
+            raise ValueError(
+                f"session local end {session.local!r} does not match router {self.node_id!r}"
+            )
+        if session.remote in self.sessions:
+            raise ValueError(f"duplicate session {self.node_id!r} -> {session.remote!r}")
+        self.sessions[session.remote] = session
+        # A new neighbor receives our current table (typical of session
+        # establishment). Collector taps attached mid-experiment rely on it.
+        for prefix, best in self.loc_rib.items():
+            self._export_to(session, prefix, best)
+
+    def remove_session(self, remote: str) -> None:
+        """Tear down the adjacency toward ``remote`` (link/node failure).
+
+        All routes learned from the neighbor are flushed and the decision
+        process reruns for each affected prefix, exactly as a BGP session
+        reset would.
+        """
+        session = self.sessions.pop(remote, None)
+        if session is None:
+            raise KeyError(f"{self.node_id!r} has no session to {remote!r}")
+        session.closed = True
+        for prefix in self.adj_rib_in.drop_neighbor(remote):
+            self._reselect(prefix)
+
+    # ------------------------------------------------------------------
+    # Origination (the CDN controller's knobs)
+
+    def originate(
+        self,
+        prefix: IPv4Prefix,
+        prepend: int = 0,
+        neighbors: frozenset[str] | None = None,
+        med: int = 0,
+    ) -> None:
+        """Originate ``prefix``, replacing any previous origination of it.
+
+        Changing the export shape of an existing origination (prepend,
+        MED, neighbor scope) re-exports even though the locally selected
+        route is unchanged -- draining a live site works by exactly this
+        kind of in-place re-origination.
+        """
+        previous = self._origins.get(prefix)
+        config = OriginConfig(prepend=prepend, neighbors=neighbors, med=med)
+        self._origins[prefix] = config
+        self._reselect(prefix)
+        if previous is not None and previous != config:
+            best = self.loc_rib.get(prefix)
+            for session in self.sessions.values():
+                self._export_to(session, prefix, best)
+
+    def withdraw_origin(self, prefix: IPv4Prefix) -> bool:
+        """Stop originating ``prefix``; True if it was originated."""
+        if prefix not in self._origins:
+            return False
+        del self._origins[prefix]
+        self._reselect(prefix)
+        return True
+
+    def originated_prefixes(self) -> list[IPv4Prefix]:
+        return list(self._origins)
+
+    def origin_config(self, prefix: IPv4Prefix) -> OriginConfig | None:
+        return self._origins.get(prefix)
+
+    def _local_route(self, prefix: IPv4Prefix) -> Route | None:
+        if prefix not in self._origins:
+            return None
+        return Route(
+            prefix=prefix,
+            as_path=(),
+            learned_from=None,
+            local_pref=LOCAL_ORIGIN_PREF,
+            origin_node=self.node_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Update processing
+
+    def receive(self, update: Update) -> None:
+        """Process one update from a neighbor (called by session delivery)."""
+        if update.sender not in self.sessions:
+            raise ValueError(f"{self.node_id!r}: update from unknown neighbor {update.sender!r}")
+        if self.damping is not None:
+            self._account_flap(update)
+        if isinstance(update, Announcement):
+            if self.asn in update.as_path:
+                # AS-path loop: reject, treating the announcement as an
+                # implicit withdrawal of whatever this neighbor sent before.
+                self.adj_rib_in.withdraw(update.prefix, update.sender)
+            else:
+                session = self.sessions[update.sender]
+                route = Route(
+                    prefix=update.prefix,
+                    as_path=update.as_path,
+                    learned_from=update.sender,
+                    local_pref=import_local_pref(session.relationship),
+                    origin_node=update.origin_node,
+                    med=update.med,
+                )
+                self.adj_rib_in.update(update.prefix, update.sender, route)
+        else:
+            self.adj_rib_in.withdraw(update.prefix, update.sender)
+        self._reselect(update.prefix)
+
+    def _account_flap(self, update: Update) -> None:
+        """RFC 2439 accounting: a withdrawal of a held route, or an
+        announcement replacing one, is a flap. Initial reachability is
+        not charged."""
+        existing = self.adj_rib_in.route_from(update.prefix, update.sender)
+        if existing is None:
+            return
+        if isinstance(update, Withdrawal):
+            self.damping.record_flap(update.prefix, update.sender)
+        elif (update.as_path, update.med) != (existing.as_path, existing.med):
+            self.damping.record_flap(update.prefix, update.sender)
+
+    def _reselect(self, prefix: IPv4Prefix) -> None:
+        """Re-run the decision process and propagate any best-path change."""
+        exclude = None
+        if self.damping is not None:
+            exclude = self.damping.suppressed_neighbors(prefix)
+        best = decide(prefix, self.adj_rib_in, self._local_route(prefix), exclude)
+        previous = self.loc_rib.get(prefix)
+        if best == previous:
+            return
+        self.loc_rib.set(prefix, best)
+        self._schedule_fib_install(prefix)
+        for session in self.sessions.values():
+            self._export_to(session, prefix, best)
+
+    def _schedule_fib_install(self, prefix: IPv4Prefix) -> None:
+        """Install the current best into the FIB, after the RIB->FIB lag.
+
+        The install callback re-reads the Loc-RIB at fire time, so a burst
+        of best-path changes converges the FIB to the final state.
+        """
+        if self.fib_delay_source is None:
+            self._install_fib(prefix)
+            return
+        engine, delay = self.fib_delay_source()
+        if delay <= 0:
+            self._install_fib(prefix)
+        else:
+            engine.schedule(delay, lambda: self._install_fib(prefix))
+
+    def _install_fib(self, prefix: IPv4Prefix) -> None:
+        best = self.loc_rib.get(prefix)
+        if best is None:
+            self.fib.remove(prefix)
+        else:
+            self.fib.insert(prefix, best.learned_from or self.node_id)
+
+    # ------------------------------------------------------------------
+    # Export
+
+    def _export_to(self, session: Session, prefix: IPv4Prefix, best: Route | None) -> None:
+        """Send ``best`` (or a withdrawal) to one neighbor, per policy."""
+        update = self._build_export(session, prefix, best)
+        session.send(update)
+
+    def _build_export(
+        self, session: Session, prefix: IPv4Prefix, best: Route | None
+    ) -> Update:
+        withdrawal = Withdrawal(sender=self.node_id, prefix=prefix)
+        if best is None:
+            return withdrawal
+        med = 0
+        if best.learned_from is None:
+            # Locally originated: apply per-origin prepending/neighbor
+            # scope and MED.
+            config = self._origins.get(prefix)
+            if config is None or not config.exports_to(session.remote):
+                return withdrawal
+            exported = best.extended_by(self.asn, prepend=config.prepend)
+            med = config.med
+        else:
+            # Transit route: sender-side loop suppression plus valley-free
+            # export policy.
+            if best.learned_from == session.remote:
+                return withdrawal
+            learned_over = self.sessions[best.learned_from].relationship
+            if not should_export(learned_over, session.relationship):
+                return withdrawal
+            exported = best.extended_by(self.asn)
+        return Announcement(
+            sender=self.node_id,
+            prefix=prefix,
+            as_path=exported.as_path,
+            origin_node=best.origin_node,
+            med=med,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def best_route(self, prefix: IPv4Prefix) -> Route | None:
+        """The currently selected route for ``prefix`` (exact match)."""
+        return self.loc_rib.get(prefix)
+
+    def relationship_to(self, remote: str) -> Relationship:
+        return self.sessions[remote].relationship
+
+    def __repr__(self) -> str:
+        return f"BgpRouter({self.node_id!r}, AS{self.asn})"

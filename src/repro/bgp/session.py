@@ -1,0 +1,194 @@
+"""eBGP sessions: message delivery and MRAI pacing.
+
+A :class:`Session` is one *direction* of a BGP adjacency (router A's view
+of its session toward router B). It owns:
+
+* the business relationship (used by import/export policy),
+* a delivery model — per-message latency with jitter, FIFO-preserving,
+* the MinRouteAdvertisementInterval (MRAI) timer that batches updates.
+
+The MRAI model follows common router behaviour: the first update toward a
+quiet neighbor is sent immediately and starts the timer; updates generated
+while the timer runs are coalesced (latest state per prefix wins) and
+flushed when it expires. This is what makes fresh announcements propagate
+in seconds while withdrawal path hunting — many successive best-path
+changes for the same prefix — stretches over minutes, the asymmetry at the
+heart of the paper's Appendix A vs Appendix B results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.bgp.messages import Announcement, Update, Withdrawal
+from repro.bgp.policy import Relationship
+from repro.net.addr import IPv4Prefix
+
+if TYPE_CHECKING:
+    from repro.bgp.engine import EventEngine
+
+
+@dataclass(frozen=True, slots=True)
+class SessionTiming:
+    """Timing parameters for one session direction.
+
+    Attributes:
+        latency: one-way message propagation plus processing, seconds.
+        jitter: uniform jitter added on top of ``latency``.
+        mrai: mean MRAI duration; each timer run samples uniformly from
+            ``[0.75 * mrai, 1.25 * mrai]``. Zero disables pacing.
+        busy_prob: probability that, when an update arrives at a quiet
+            session, an MRAI timer is *already* mid-flight from ambient
+            churn the simulation does not carry explicitly. In that case
+            the update waits out the residual timer (uniform over the
+            MRAI) instead of leaving immediately. This is what stretches
+            first-update propagation from milliseconds to the seconds
+            observed at real collectors (Appendix B's ~10 s medians).
+        mrai_sigma: per-session heterogeneity. Each session's effective
+            MRAI is ``mrai * lognormal(0, mrai_sigma)``, drawn once at
+            session setup. Real convergence tails (Appendix A's 400 s
+            p90) are dominated by a minority of slow/rate-limited
+            sessions; this models them without simulating router load.
+        fib_delay: mean lag between a Loc-RIB best-path change and the
+            forwarding plane actually using it (RIB->FIB download). Only
+            the data plane sees this; collector feeds are control-plane.
+    """
+
+    latency: float = 0.05
+    jitter: float = 0.2
+    mrai: float = 2.5
+    busy_prob: float = 0.0
+    mrai_sigma: float = 0.0
+    fib_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.busy_prob <= 1.0:
+            raise ValueError(f"busy_prob must be in [0, 1], got {self.busy_prob}")
+        if self.mrai_sigma < 0:
+            raise ValueError(f"mrai_sigma must be >= 0, got {self.mrai_sigma}")
+        if self.fib_delay < 0:
+            raise ValueError(f"fib_delay must be >= 0, got {self.fib_delay}")
+
+
+#: Timing profile calibrated so the simulated Internet reproduces the
+#: paper's measured BGP behaviour (see DESIGN.md §5): anycast announcement
+#: propagation of a few seconds at the median across collector peers
+#: (Appendix B's <10 s), unicast withdrawal convergence of ~100 s median
+#: with a heavy tail (Appendix A's 100 s / 400 s), and data-plane anycast
+#: failover around ten seconds (Figure 2).
+DEFAULT_INTERNET_TIMING = SessionTiming(
+    latency=0.05,
+    jitter=3.0,
+    mrai=50.0,
+    busy_prob=0.45,
+    mrai_sigma=1.5,
+    fib_delay=2.5,
+)
+
+
+class Session:
+    """One direction of an eBGP adjacency, with MRAI-paced delivery."""
+
+    def __init__(
+        self,
+        engine: "EventEngine",
+        rng: random.Random,
+        local: str,
+        remote: str,
+        relationship: Relationship,
+        deliver: Callable[[Update], None],
+        timing: SessionTiming | None = None,
+    ) -> None:
+        self.engine = engine
+        self.rng = rng
+        self.local = local
+        self.remote = remote
+        self.relationship = relationship
+        self.timing = timing or SessionTiming()
+        self._deliver = deliver
+        #: effective MRAI for this session (heterogeneous across sessions)
+        self.mrai = self.timing.mrai
+        if self.timing.mrai_sigma > 0:
+            self.mrai *= rng.lognormvariate(0.0, self.timing.mrai_sigma)
+        self._pending: dict[IPv4Prefix, Update] = {}
+        self._mrai_running = False
+        self._last_delivery = 0.0
+        #: set by link/node failure injection: a closed session neither
+        #: sends nor delivers (in-flight messages are lost on arrival).
+        self.closed = False
+        #: prefixes currently advertised to the remote end (sent and not
+        #: withdrawn), used by the router to decide whether a withdrawal
+        #: needs to be sent at all.
+        self.advertised: set[IPv4Prefix] = set()
+        #: count of updates put on the wire (for tests and diagnostics).
+        self.sent_updates = 0
+
+    def send(self, update: Update) -> None:
+        """Queue ``update`` for the remote end, respecting MRAI pacing.
+
+        Updates for the same prefix coalesce while the MRAI timer runs:
+        only the latest state is flushed. A withdrawal for a prefix the
+        remote end has never seen cancels any unsent announcement instead
+        of going on the wire.
+        """
+        if self.closed:
+            return
+        prefix = update.prefix
+        if isinstance(update, Withdrawal) and prefix not in self.advertised:
+            self._pending.pop(prefix, None)
+            return
+        self._pending[prefix] = update
+        if not self._mrai_running:
+            if (
+                self.mrai > 0
+                and self.timing.busy_prob > 0
+                and self.rng.random() < self.timing.busy_prob
+            ):
+                # Ambient churn: a timer is already running; wait out its
+                # residual life before this update can leave.
+                self._mrai_running = True
+                residual = self.rng.uniform(0, self.mrai)
+                self.engine.schedule(residual, self._mrai_expired)
+            else:
+                self._flush()
+                self._start_mrai()
+
+    def _flush(self) -> None:
+        """Put all pending updates on the wire, preserving FIFO order."""
+        if self.closed:
+            self._pending.clear()
+            return
+        for update in self._pending.values():
+            if isinstance(update, Announcement):
+                self.advertised.add(update.prefix)
+            else:
+                self.advertised.discard(update.prefix)
+            delay = self.timing.latency + self.rng.uniform(0, self.timing.jitter)
+            deliver_at = max(self.engine.now + delay, self._last_delivery + 1e-6)
+            self._last_delivery = deliver_at
+            self.sent_updates += 1
+            self.engine.schedule_at(deliver_at, self._make_delivery(update))
+        self._pending.clear()
+
+    def _make_delivery(self, update: Update) -> Callable[[], None]:
+        def deliver() -> None:
+            # Messages in flight when the link fails are lost.
+            if not self.closed:
+                self._deliver(update)
+
+        return deliver
+
+    def _start_mrai(self) -> None:
+        if self.mrai <= 0:
+            return
+        self._mrai_running = True
+        duration = self.rng.uniform(0.75 * self.mrai, 1.25 * self.mrai)
+        self.engine.schedule(duration, self._mrai_expired)
+
+    def _mrai_expired(self) -> None:
+        self._mrai_running = False
+        if self._pending:
+            self._flush()
+            self._start_mrai()

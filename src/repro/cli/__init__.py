@@ -1,0 +1,50 @@
+"""Command-line interface.
+
+``repro`` exposes the paper's experiments as subcommands::
+
+    repro topology                    # summarize the generated Internet
+    repro failover -t reactive-anycast -s sea1
+    repro compare                     # Figure-2-style technique sweep
+    repro control                     # Table-1 traffic control
+    repro appendix withdrawal         # Figure 3 pipeline
+    repro appendix propagation        # Figure 4 pipeline
+    repro drill -t reactive-anycast   # §4 rotation drill
+    repro playbook --drain ams        # anycast-agility drain plays
+    repro scenario -e fail:sea1@60 -e recover:sea1@200
+    repro configgen -t proactive-prepending -o configs/
+
+Every command accepts ``--seed`` and the experiment ones accept scale
+knobs, so results are reproducible and tunable without code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli import appendix, compare, configgen_cmd, control, drill, failover, playbook_cmd, scenario, topology_cmd
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'The Best of Both Worlds: High Availability "
+            "CDN Routing Without Compromising Control' (IMC 2022)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=42, help="topology/experiment seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for module in (topology_cmd, failover, compare, control, appendix, drill, playbook_cmd, scenario, configgen_cmd):
+        module.register(subparsers)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""``repro drill`` -- the §4 pre-failure rotation drill."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.drill import RotationDrill
+from repro.core.techniques import TECHNIQUES, technique_by_name
+from repro.topology.generator import TopologyParams
+from repro.topology.testbed import build_deployment
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "drill", help="rotate a test-prefix failure through every site (§4)"
+    )
+    parser.add_argument(
+        "-t", "--technique", choices=sorted(TECHNIQUES), default="reactive-anycast"
+    )
+    parser.add_argument("--deadline", type=float, default=120.0,
+                        help="recovery deadline per site (sim s)")
+    parser.add_argument("--clients", type=int, default=25,
+                        help="monitored client ASes")
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    deployment = build_deployment(params=TopologyParams(seed=args.seed))
+    technique = technique_by_name(args.technique)
+    clients = [
+        info.node_id for info in deployment.topology.web_client_ases()
+    ][: args.clients]
+    drill = RotationDrill(
+        deployment.topology, deployment, technique,
+        deadline_s=args.deadline, seed=args.seed,
+    )
+    for outcome in drill.run_rotation(clients):
+        status = "PASS" if outcome.passed else f"FAIL ({outcome.stranded} stranded)"
+        print(f"  {outcome.site:6s} recovered {outcome.recovered:3d}/{len(clients)}  {status}")
+    print("rotation verdict:", "all sites pass" if drill.all_passed() else "FAILURES")
+    return 0 if drill.all_passed() else 1

@@ -1,0 +1,73 @@
+"""``repro failover`` -- fail one site under one technique (§5.2)."""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+
+from repro.core.experiment import FailoverConfig, FailoverExperiment
+from repro.core.techniques import TECHNIQUES, technique_by_name
+from repro.measurement.stats import summarize
+from repro.topology.generator import TopologyParams
+from repro.topology.testbed import build_deployment
+
+
+def add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--targets", type=int, default=20, help="targets per site")
+    parser.add_argument(
+        "--duration", type=float, default=300.0, help="probing window (sim s)"
+    )
+    parser.add_argument(
+        "--detection-delay", type=float, default=2.0,
+        help="monitoring reaction time (sim s)",
+    )
+    parser.add_argument(
+        "--silent", action="store_true",
+        help="silent failure: the site cannot withdraw its own prefixes",
+    )
+
+
+def make_experiment(args: argparse.Namespace) -> FailoverExperiment:
+    deployment = build_deployment(params=TopologyParams(seed=args.seed))
+    config = FailoverConfig(
+        probe_duration=args.duration,
+        targets_per_site=args.targets,
+        detection_delay=args.detection_delay,
+        seed=args.seed,
+        silent_failure=args.silent,
+    )
+    return FailoverExperiment(deployment.topology, deployment, config)
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "failover", help="fail one site under one technique and measure recovery"
+    )
+    parser.add_argument(
+        "-t", "--technique", choices=sorted(TECHNIQUES), default="reactive-anycast"
+    )
+    parser.add_argument("-s", "--site", default="sea1")
+    parser.add_argument("--prepend", type=int, default=3,
+                        help="prepend count for proactive-prepending")
+    add_scale_arguments(parser)
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    experiment = make_experiment(args)
+    kwargs = {"prepend": args.prepend} if args.technique == "proactive-prepending" else {}
+    technique = technique_by_name(args.technique, **kwargs)
+    if args.site not in experiment.deployment.sites:
+        print(f"unknown site {args.site!r}; have {experiment.deployment.site_names}")
+        return 2
+
+    print(f"failing {args.site} under {technique.name} "
+          f"({'silent' if args.silent else 'withdrawing'} failure) ...")
+    result = experiment.run_site(technique, args.site)
+    print(f"selected {len(result.selection.targets)} targets, "
+          f"{len(result.controllable)} controllable pre-failure")
+    print(f"reconnection: {summarize([o.reconnection_s for o in result.outcomes]).row()}")
+    print(f"failover:     {summarize([o.failover_s for o in result.outcomes]).row()}")
+    landing = Counter(o.final_site for o in result.outcomes)
+    print(f"serving sites after failover: {dict(landing)}")
+    return 0

@@ -1,0 +1,83 @@
+"""``repro scenario`` -- availability timeline through a scripted episode."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.scenarios import ScenarioRunner
+from repro.core.techniques import TECHNIQUES, technique_by_name
+from repro.measurement.catchment import anycast_catchment
+from repro.topology.generator import TopologyParams
+from repro.topology.testbed import build_deployment
+
+
+def _parse_event(text: str):
+    """Parse ``KIND:SITE@TIME`` (e.g. ``fail:sea1@60``)."""
+    try:
+        kind_site, _, at_text = text.partition("@")
+        kind, _, site = kind_site.partition(":")
+        return kind, site, float(at_text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"bad event {text!r}; expected KIND:SITE@TIME (e.g. fail:sea1@60)"
+        ) from error
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "scenario", help="replay a failure/recovery timeline and chart availability"
+    )
+    parser.add_argument(
+        "-t", "--technique", choices=sorted(TECHNIQUES), default="reactive-anycast"
+    )
+    parser.add_argument("-s", "--site", default="sea1", help="intended/specific site")
+    parser.add_argument(
+        "-e", "--event", action="append", type=_parse_event, default=None,
+        metavar="KIND:SITE@TIME",
+        help="fail:sea1@60, fail-silent:sea1@60, recover:sea1@200, "
+             "drain:sea1@60, or undrain:sea1@200 (repeatable)",
+    )
+    parser.add_argument("--duration", type=float, default=300.0)
+    parser.add_argument("--grace", type=float, default=30.0,
+                        help="make-before-break recovery grace (s)")
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    deployment = build_deployment(params=TopologyParams(seed=args.seed))
+    if args.site not in deployment.sites:
+        print(f"unknown site {args.site!r}; have {deployment.site_names}")
+        return 2
+    catchment = anycast_catchment(deployment.topology, deployment, seed=args.seed)
+    targets = [n for n, s in catchment.items() if s == args.site][:15]
+    if not targets:
+        print(f"site {args.site!r} has an empty anycast catchment; "
+              "using the default target set")
+        targets = None
+
+    runner = ScenarioRunner(
+        topology=deployment.topology,
+        deployment=deployment,
+        technique=technique_by_name(args.technique),
+        specific_site=args.site,
+        duration_s=args.duration,
+        bucket_s=10.0,
+        target_nodes=targets,
+        recovery_grace=args.grace,
+        seed=args.seed,
+    )
+    events = args.event or [("fail", args.site, args.duration / 4)]
+    for kind, site, at in events:
+        runner.add_event(at, kind, site)
+
+    result = runner.run()
+    availability = result.availability()
+    glyphs = " ._-=^#"
+    spark = "".join(
+        glyphs[min(len(glyphs) - 1, int(v * (len(glyphs) - 1)))] for v in availability
+    )
+    print(f"events: " + ", ".join(f"{e.kind} {e.site}@{e.at:.0f}s" for e in result.events))
+    print(f"availability |{spark}| (one char per {result.bucket_s:.0f}s)")
+    print(f"mean availability: {result.mean_availability():.1%}")
+    print(f"downtime (<50% served): {result.downtime_s():.0f}s")
+    return 0

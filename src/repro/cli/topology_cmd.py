@@ -1,0 +1,38 @@
+"""``repro topology`` -- summarize the generated Internet and deployment."""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+
+from repro.topology.generator import TopologyParams
+from repro.topology.testbed import build_deployment
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "topology", help="summarize the generated topology and CDN deployment"
+    )
+    parser.add_argument(
+        "--sites", action="store_true", help="list per-site attachments"
+    )
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    deployment = build_deployment(params=TopologyParams(seed=args.seed))
+    topology = deployment.topology
+
+    print(f"ASes: {len(topology.ases)}   links: {len(topology.links)}")
+    counts = Counter(info.as_class.value for info in topology.ases.values())
+    for as_class, count in sorted(counts.items()):
+        print(f"  {as_class:12s} {count}")
+    print(f"web-client ASes: {len(topology.web_client_ases())}")
+    print(f"sites: {', '.join(deployment.site_names)}")
+
+    if args.sites:
+        print()
+        for name, spec in deployment.sites.items():
+            print(f"  {name:6s} region={spec.region:12s} "
+                  f"providers={list(spec.providers)} peers={list(spec.peers)}")
+    return 0

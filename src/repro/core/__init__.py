@@ -1,0 +1,71 @@
+"""The paper's contribution: redirection techniques and their evaluation.
+
+`repro.core.techniques` implements the five announcement strategies of
+Figure 1 (plus the combined variant §4 mentions), `repro.core.controller`
+is the CDN's monitoring/orchestration loop that reacts to site failures,
+`repro.core.experiment` reproduces the §5.2 experiment protocol, and
+`repro.core.metrics` computes the §5.4.1 reconnection/failover metrics.
+"""
+
+from repro.core.techniques import (
+    Technique,
+    Unicast,
+    Anycast,
+    ProactiveSuperprefix,
+    ReactiveAnycast,
+    ProactivePrepending,
+    ProactiveMed,
+    Combined,
+    TECHNIQUES,
+    technique_by_name,
+)
+from repro.core.controller import CdnController, FailureEvent
+from repro.core.drill import DrillOutcome, RotationDrill
+from repro.core.playbook import Playbook, PlaybookEntry
+from repro.core.scenarios import ScenarioEvent, ScenarioReport, ScenarioRunner
+from repro.core.unicast_failover import (
+    UnicastFailoverConfig,
+    UnicastFailoverResult,
+    simulate_unicast_failover,
+)
+from repro.core.experiment import FailoverConfig, FailoverExperiment, SiteFailoverResult
+from repro.core.metrics import (
+    BounceStatistics,
+    TargetOutcome,
+    bounce_statistics,
+    outcomes_for_run,
+    target_outcome,
+)
+
+__all__ = [
+    "Technique",
+    "Unicast",
+    "Anycast",
+    "ProactiveSuperprefix",
+    "ReactiveAnycast",
+    "ProactivePrepending",
+    "ProactiveMed",
+    "Combined",
+    "TECHNIQUES",
+    "technique_by_name",
+    "CdnController",
+    "FailureEvent",
+    "DrillOutcome",
+    "RotationDrill",
+    "Playbook",
+    "PlaybookEntry",
+    "ScenarioEvent",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "UnicastFailoverConfig",
+    "UnicastFailoverResult",
+    "simulate_unicast_failover",
+    "FailoverConfig",
+    "FailoverExperiment",
+    "SiteFailoverResult",
+    "TargetOutcome",
+    "target_outcome",
+    "outcomes_for_run",
+    "BounceStatistics",
+    "bounce_statistics",
+]

@@ -1,0 +1,244 @@
+"""The CDN's monitoring and control loop.
+
+§4: reactive-anycast "requires a real-time monitoring system to detect
+site outages, similar to ones that CDNs have deployed" (Odin, NEL). The
+controller models that loop with a configurable detection delay: when a
+site fails, the site's own withdrawals go out immediately (routers do
+that on their own), the monitoring system notices after
+``detection_delay`` seconds, and only then does the technique's reactive
+behaviour -- new announcements, DNS updates -- run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.network import BgpNetwork
+from repro.core.techniques import Technique
+from repro.dns.authoritative import AuthoritativeServer, StaticMapping
+from repro.net.addr import IPv4Prefix
+from repro.topology.testbed import CdnDeployment
+
+
+@dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """Record of one site failure the controller handled.
+
+    ``silent`` marks failures where the site could not withdraw its own
+    announcements (crashed without BGP teardown): the withdrawal then
+    happens at ``detected_at``, executed by the control system, instead
+    of at ``failed_at``.
+    """
+
+    site: str
+    failed_at: float
+    detected_at: float
+    withdrawn_prefixes: tuple[IPv4Prefix, ...]
+    silent: bool = False
+
+
+@dataclass(slots=True)
+class CdnController:
+    """Orchestrates announcements and failure reactions for one CDN.
+
+    Attributes:
+        detection_delay: seconds from failure to the control system
+            reacting (monitoring + decision + configuration push).
+        dns: optional authoritative server to update on failure (clients
+            get remapped to a surviving site even for BGP techniques --
+            real CDNs do both).
+    """
+
+    network: BgpNetwork
+    deployment: CdnDeployment
+    technique: Technique
+    prefix: IPv4Prefix
+    superprefix: IPv4Prefix
+    detection_delay: float = 2.0
+    #: make-before-break on recovery: reactive/emergency announcements
+    #: are rolled back only this many seconds after the recovered site
+    #: re-announces, so its routes propagate before the backups vanish
+    recovery_grace: float = 0.0
+    dns: AuthoritativeServer | None = None
+    failures: list[FailureEvent] = field(default_factory=list)
+    #: the specific site of the last deploy(), for recovery
+    deployed_site: str | None = None
+    #: sites currently down; announcements are never (re)made from these
+    down_sites: set = field(default_factory=set)
+    #: DNS addresses of failed sites, kept for restoration on recovery
+    _removed_dns: dict = field(default_factory=dict)
+
+    def deploy(self, specific_site: str) -> None:
+        """Make the technique's normal-operation announcements."""
+        if specific_site not in self.deployment.sites:
+            raise KeyError(f"unknown site {specific_site!r}")
+        self.deployed_site = specific_site
+        self.technique.announce_normal(
+            self.network, self.deployment, specific_site, self.prefix, self.superprefix
+        )
+
+    def recover_site(self, site: str) -> None:
+        """Bring a failed site back: re-make the normal announcements and
+        roll back any reactive reconfiguration.
+
+        The paper's experiments fail sites permanently; recovery enables
+        the flapping-site and rolling-outage scenarios (and, with route
+        flap damping enabled, shows why a recovering site may stay dark
+        at some routers for a while).
+        """
+        if site not in self.deployment.sites:
+            raise KeyError(f"unknown site {site!r}")
+        if self.deployed_site is None:
+            raise RuntimeError("recover_site before deploy")
+        self.down_sites.discard(site)
+        self.technique.announce_normal(
+            self.network,
+            self.deployment,
+            self.deployed_site,
+            self.prefix,
+            self.superprefix,
+        )
+
+        def rollback() -> None:
+            self.technique.on_recovery(
+                self.network, self.deployment, site, self.prefix, self.superprefix
+            )
+            self._enforce_down_sites()
+
+        if self.recovery_grace > 0:
+            # Make-before-break: let the recovered site's routes
+            # propagate before the emergency announcements disappear.
+            self.network.engine.schedule(self.recovery_grace, rollback)
+        else:
+            rollback()
+        if self.dns is not None:
+            # Restore the DNS-side record and, if this was the intended
+            # site, the mapping toward it.
+            address = self._removed_dns.pop(site, None)
+            if address is not None:
+                self.dns.set_site_address(site, address)
+            policy = self.dns.policy
+            if site == self.deployed_site and isinstance(policy, StaticMapping):
+                policy.default_site = site
+
+    def drain_site(self, site: str, prepend: int = 5) -> None:
+        """Gracefully drain a site for maintenance: re-announce its
+        prefixes with heavy prepending so traffic shifts to other sites
+        *before* the site goes down -- no packets are ever blackholed.
+
+        This is the make-before-break counterpart of :meth:`fail_site`:
+        the anycast-agility playbook applied to one site (§4's load-
+        distribution control goal).
+        """
+        if site not in self.deployment.sites:
+            raise KeyError(f"unknown site {site!r}")
+        node = self.deployment.site_node(site)
+        router = self.network.routers[node]
+        for prefix in router.originated_prefixes():
+            config = router.origin_config(prefix)
+            router.originate(
+                prefix, prepend=prepend, neighbors=config.neighbors, med=config.med
+            )
+
+    def undrain_site(self, site: str) -> None:
+        """Restore a drained site's normal announcements."""
+        if site not in self.deployment.sites:
+            raise KeyError(f"unknown site {site!r}")
+        if self.deployed_site is None:
+            raise RuntimeError("undrain_site before deploy")
+        self.technique.announce_normal(
+            self.network,
+            self.deployment,
+            self.deployed_site,
+            self.prefix,
+            self.superprefix,
+        )
+        self._enforce_down_sites()
+
+    def fail_site(self, site: str) -> FailureEvent:
+        """Emulate a site failure right now.
+
+        The site withdraws everything immediately; the technique's (and
+        DNS's) reaction is scheduled after the detection delay. Returns
+        the failure record (its ``detected_at`` is in the future).
+        """
+        if site not in self.deployment.sites:
+            raise KeyError(f"unknown site {site!r}")
+        node = self.deployment.site_node(site)
+        self.down_sites.add(site)
+        withdrawn = tuple(self.network.withdraw_all(node))
+        event = FailureEvent(
+            site=site,
+            failed_at=self.network.now,
+            detected_at=self.network.now + self.detection_delay,
+            withdrawn_prefixes=withdrawn,
+        )
+        self.failures.append(event)
+        self.network.engine.schedule(self.detection_delay, lambda: self._react(site))
+        return event
+
+    def fail_site_silently(self, site: str) -> FailureEvent:
+        """Emulate a silent failure: the site stops serving but its BGP
+        announcements stay up until the monitoring system notices.
+
+        The paper's model assumes the failing site withdraws its own
+        prefixes (§4); silent failures are the harder operational case
+        where even the withdrawal depends on detection -- PEERING-style
+        deployments can execute it remotely at the mux. Every technique
+        pays the detection delay before its failover clock even starts.
+        """
+        if site not in self.deployment.sites:
+            raise KeyError(f"unknown site {site!r}")
+        node = self.deployment.site_node(site)
+        self.down_sites.add(site)
+        pending = tuple(self.network.routers[node].originated_prefixes())
+        event = FailureEvent(
+            site=site,
+            failed_at=self.network.now,
+            detected_at=self.network.now + self.detection_delay,
+            withdrawn_prefixes=pending,
+            silent=True,
+        )
+        self.failures.append(event)
+
+        def detect() -> None:
+            self.network.withdraw_all(node)
+            self._react(site)
+
+        self.network.engine.schedule(self.detection_delay, detect)
+        return event
+
+    def _react(self, site: str) -> None:
+        self.technique.on_failure(
+            self.network, self.deployment, site, self.prefix, self.superprefix
+        )
+        self._enforce_down_sites()
+        if self.dns is not None:
+            self._update_dns(site)
+
+    def _enforce_down_sites(self) -> None:
+        """Withdraw anything a technique (re)announced from a dead site.
+
+        Techniques are stateless and deployment-wide; with overlapping
+        failures their reactions could otherwise resurrect announcements
+        at a site that is still down, blackholing its catchment.
+        """
+        for down in self.down_sites:
+            self.network.withdraw_all(self.deployment.site_node(down))
+
+    def _update_dns(self, failed_site: str) -> None:
+        """Repoint DNS away from the failed site (unicast's only lever)."""
+        address = self.dns.site_addresses.get(failed_site)
+        if address is not None:
+            self._removed_dns[failed_site] = address
+        self.dns.remove_site(failed_site)
+        survivors = [s for s in self.deployment.site_names if s != failed_site]
+        if not survivors:
+            return
+        policy = self.dns.policy
+        if isinstance(policy, StaticMapping):
+            if policy.default_site == failed_site:
+                policy.default_site = survivors[0]
+            for client, site in list(policy.overrides.items()):
+                if site == failed_site:
+                    policy.overrides[client] = survivors[0]

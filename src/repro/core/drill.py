@@ -1,0 +1,103 @@
+"""Pre-failure propagation drills.
+
+§4, on reactive-anycast: "To debug the propagation of the new anycast
+announcement, prior to failure, a CDN can rotate through its sites and
+withdraw a test prefix at the site to see if its clients are routed as
+expected." This module implements that rotation: announce a *test*
+prefix per the technique, fail each site in turn, and verify that every
+monitored client ends up at a surviving site within a deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.session import SessionTiming
+from repro.core.controller import CdnController
+from repro.core.techniques import Technique
+from repro.net.addr import IPv4Prefix
+from repro.topology.generator import Topology
+from repro.topology.testbed import SECOND_PREFIX, SUPERPREFIX, CdnDeployment
+
+
+@dataclass(frozen=True, slots=True)
+class DrillOutcome:
+    """Result of one site's drill rotation."""
+
+    site: str
+    #: clients that reached a surviving site by the deadline
+    recovered: int
+    #: clients still routed nowhere (or to the drilled site)
+    stranded: int
+    #: node ids of the stranded clients, for operator follow-up
+    stranded_clients: tuple[str, ...] = ()
+
+    @property
+    def passed(self) -> bool:
+        return self.stranded == 0
+
+
+@dataclass(slots=True)
+class RotationDrill:
+    """Rotates a test-prefix failure through every site.
+
+    Uses :data:`SECOND_PREFIX` (the testbed's spare /24) by default so
+    production traffic on the primary prefix is never touched -- exactly
+    the paper's suggestion.
+    """
+
+    topology: Topology
+    deployment: CdnDeployment
+    technique: Technique
+    test_prefix: IPv4Prefix = SECOND_PREFIX
+    deadline_s: float = 120.0
+    detection_delay: float = 2.0
+    timing: SessionTiming | None = None
+    seed: int = 0
+    outcomes: list[DrillOutcome] = field(default_factory=list)
+
+    def run_site(self, site: str, clients: list[str]) -> DrillOutcome:
+        """Drill one site: deploy, fail, wait the deadline, audit."""
+        network = self.topology.build_network(seed=self.seed, timing=self.timing)
+        controller = CdnController(
+            network=network,
+            deployment=self.deployment,
+            technique=self.technique,
+            prefix=self.test_prefix,
+            superprefix=SUPERPREFIX,
+            detection_delay=self.detection_delay,
+        )
+        controller.deploy(site)
+        network.converge()
+        controller.fail_site(site)
+        network.run_for(self.deadline_s)
+
+        recovered = 0
+        stranded: list[str] = []
+        for client in clients:
+            route = network.router(client).best_route(self.test_prefix)
+            if route is None:
+                stranded.append(client)
+                continue
+            landing = self.deployment.site_of_node(route.origin_node)
+            if landing is None or landing == site:
+                stranded.append(client)
+            else:
+                recovered += 1
+        outcome = DrillOutcome(
+            site=site,
+            recovered=recovered,
+            stranded=len(stranded),
+            stranded_clients=tuple(stranded),
+        )
+        self.outcomes.append(outcome)
+        return outcome
+
+    def run_rotation(self, clients: list[str] | None = None) -> list[DrillOutcome]:
+        """Drill every site once; returns per-site outcomes."""
+        if clients is None:
+            clients = [info.node_id for info in self.topology.web_client_ases()]
+        return [self.run_site(site, clients) for site in self.deployment.site_names]
+
+    def all_passed(self) -> bool:
+        return bool(self.outcomes) and all(o.passed for o in self.outcomes)

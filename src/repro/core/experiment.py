@@ -1,0 +1,252 @@
+"""The §5.2 failover experiment protocol.
+
+Per ⟨technique, failed site⟩ the paper's procedure is:
+
+1. advertise the technique's before-failure announcements (Fig. 1);
+2. wait for convergence (the paper waits an hour; the simulator can run
+   the event queue dry, which is equivalent);
+3. ping all targets once and keep those whose replies land at the
+   current site -- the *controllable* targets;
+4. withdraw everything the site announces (the emulated failure), let
+   the technique react after the monitoring delay, and ping every
+   controllable target every ~1.5 s for ~600 s while capturing where
+   replies arrive;
+5. compute per-target reconnection and failover times (§5.4.1).
+
+:class:`FailoverExperiment` runs that protocol on a fresh network per
+run, sharing the anycast catchment and target selections (which depend
+only on the topology) across techniques.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.bgp.damping import DampingConfig
+from repro.bgp.session import DEFAULT_INTERNET_TIMING, SessionTiming
+from repro.core.controller import CdnController
+from repro.core.metrics import TargetOutcome, outcomes_for_run
+from repro.core.techniques import Technique
+from repro.dataplane.capture import SiteCapture
+from repro.dataplane.forwarding import ForwardingPlane
+from repro.dataplane.ping import Prober
+from repro.measurement.catchment import anycast_catchment
+from repro.measurement.hitlist import Hitlist, TargetSelection, select_targets
+from repro.net.addr import IPv4Address
+from repro.topology.generator import Topology
+from repro.topology.testbed import (
+    PROBE_SOURCE,
+    SPECIFIC_PREFIX,
+    SUPERPREFIX,
+    CdnDeployment,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FailoverConfig:
+    """Experiment parameters (§5.2 defaults, scaled where noted)."""
+
+    #: probing cadence and window ("every ~1.5s for ~600s")
+    probe_interval: float = 1.5
+    probe_duration: float = 600.0
+    #: monitoring/control reaction time after the failure
+    detection_delay: float = 2.0
+    #: targets selected per site (paper: 50 K; scaled to simulation size)
+    targets_per_site: int = 40
+    #: §5.1 site-proximity bound
+    rtt_limit_ms: float = 50.0
+    #: §5.1 anycast filter ("not routed to site by anycast")
+    exclude_anycast_routed: bool = True
+    #: base seed; each (site, technique) run perturbs it deterministically
+    seed: int = 42
+    #: session timing profile (defaults to the calibrated Internet profile)
+    timing: SessionTiming | None = DEFAULT_INTERNET_TIMING
+    #: slack after the probing window for in-flight events
+    drain_slack: float = 30.0
+    #: if True, the failed site does NOT withdraw its own announcements
+    #: (silent crash); the controller withdraws them after detection
+    silent_failure: bool = False
+    #: optional RFC 2439 route flap damping at every router
+    damping: DampingConfig | None = None
+
+
+@dataclass(slots=True)
+class SiteFailoverResult:
+    """Everything one ⟨technique, failed site⟩ run produced."""
+
+    technique: str
+    site: str
+    withdrawal_time: float
+    selection: TargetSelection
+    #: targets that were reachable at the site pre-failure
+    controllable: dict[IPv4Address, str]
+    outcomes: list[TargetOutcome] = field(default_factory=list)
+
+    @property
+    def controllable_frac(self) -> float:
+        """Fraction of selected targets the technique could steer to the
+        site before the failure (§5.4.2's control metric)."""
+        if not self.selection.targets:
+            return 0.0
+        return len(self.controllable) / len(self.selection.targets)
+
+
+class FailoverExperiment:
+    """Runs the failover protocol over a deployment."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        deployment: CdnDeployment,
+        config: FailoverConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.deployment = deployment
+        self.config = config or FailoverConfig()
+        self._catchment: dict[str, str | None] | None = None
+        self._hitlist: Hitlist | None = None
+        self._selections: dict[str, TargetSelection] = {}
+
+    # ------------------------------------------------------------------
+    # Shared, topology-only state
+
+    @property
+    def catchment(self) -> dict[str, str | None]:
+        """Pure-anycast catchment, computed once (§5.1 criterion)."""
+        if self._catchment is None:
+            self._catchment = anycast_catchment(
+                self.topology,
+                self.deployment,
+                seed=self.config.seed,
+                timing=self.config.timing,
+            )
+        return self._catchment
+
+    @property
+    def hitlist(self) -> Hitlist:
+        if self._hitlist is None:
+            self._hitlist = Hitlist(self.topology, seed=self.config.seed)
+        return self._hitlist
+
+    def selection_for(self, site: str, mode: str = "beyond-anycast") -> TargetSelection:
+        """§5.1 target selection for one site (cached per mode).
+
+        ``beyond-anycast`` applies the paper's "not routed to site by
+        anycast" criterion; ``anycast-catchment`` instead keeps exactly
+        the targets anycast routes to the site, which is the population
+        the pure-anycast baseline serves there.
+        """
+        key = f"{site}/{mode}"
+        selection = self._selections.get(key)
+        if selection is not None:
+            return selection
+        if mode == "beyond-anycast":
+            selection = select_targets(
+                self.topology,
+                self.deployment,
+                site,
+                self.catchment,
+                self.hitlist,
+                max_targets=self.config.targets_per_site,
+                rtt_limit_ms=self.config.rtt_limit_ms,
+                exclude_anycast_routed=self.config.exclude_anycast_routed,
+                seed=self.config.seed,
+            )
+        elif mode == "anycast-catchment":
+            selection = select_targets(
+                self.topology,
+                self.deployment,
+                site,
+                self.catchment,
+                self.hitlist,
+                max_targets=self.config.targets_per_site,
+                rtt_limit_ms=self.config.rtt_limit_ms,
+                exclude_anycast_routed=False,
+                seed=self.config.seed,
+            )
+            selection.targets = {
+                address: node
+                for address, node in selection.targets.items()
+                if self.catchment.get(node) == site
+            }
+        else:
+            raise ValueError(f"unknown selection mode {mode!r}")
+        self._selections[key] = selection
+        return selection
+
+    # ------------------------------------------------------------------
+    # One run
+
+    def run_site(self, technique: Technique, site: str) -> SiteFailoverResult:
+        """Fail ``site`` under ``technique`` and measure every target."""
+        config = self.config
+        # str hashes are salted per process; crc32 keeps runs reproducible.
+        run_tag = zlib.crc32(f"{technique.name}/{site}".encode())
+        run_seed = (config.seed * 1000003) ^ run_tag
+        network = self.topology.build_network(
+            seed=run_seed, timing=config.timing, damping=config.damping
+        )
+        controller = CdnController(
+            network=network,
+            deployment=self.deployment,
+            technique=technique,
+            prefix=SPECIFIC_PREFIX,
+            superprefix=SUPERPREFIX,
+            detection_delay=config.detection_delay,
+        )
+        controller.deploy(site)
+        network.converge()
+
+        selection = self.selection_for(site, mode=technique.selection_mode)
+        plane = ForwardingPlane(network, self.topology)
+        capture = SiteCapture()
+        vantage = next(s for s in self.deployment.site_names if s != site)
+        prober = Prober(plane, self.deployment, capture, PROBE_SOURCE, vantage)
+
+        # Step 3: pre-failure reachability -> controllable targets.
+        controllable: dict[IPv4Address, str] = {}
+        for address, node in selection.targets.items():
+            result = plane.snapshot_path(node, PROBE_SOURCE)
+            if result.delivered and self.deployment.site_of_node(result.delivered_to) == site:
+                controllable[address] = node
+
+        # Step 4: fail the site, probe the controllable targets. The
+        # failed site is dead on the data plane: replies that stale FIBs
+        # still steer there are lost, not captured.
+        if config.silent_failure:
+            event = controller.fail_site_silently(site)
+        else:
+            event = controller.fail_site(site)
+        prober.dead_sites.add(site)
+        capture.clear()
+        prober.start(
+            controllable, interval=config.probe_interval, duration=config.probe_duration
+        )
+        network.run_for(config.probe_duration + config.drain_slack)
+
+        outcomes = outcomes_for_run(prober.logs, capture, site, event.failed_at)
+        return SiteFailoverResult(
+            technique=technique.name,
+            site=site,
+            withdrawal_time=event.failed_at,
+            selection=selection,
+            controllable=controllable,
+            outcomes=outcomes,
+        )
+
+    def run_all_sites(
+        self, technique: Technique, sites: list[str] | None = None
+    ) -> list[SiteFailoverResult]:
+        """Fig. 2's sweep: fail every site once under ``technique``."""
+        sites = sites if sites is not None else self.deployment.site_names
+        return [self.run_site(technique, site) for site in sites]
+
+
+def pooled_outcomes(results: list[SiteFailoverResult]) -> list[TargetOutcome]:
+    """Flatten per-site results into the ⟨failed site, target⟩ pool the
+    paper's CDFs are drawn over."""
+    pooled: list[TargetOutcome] = []
+    for result in results:
+        pooled.extend(result.outcomes)
+    return pooled

@@ -1,0 +1,209 @@
+"""Multi-event operational scenarios.
+
+The paper's §5 protocol fails one site, once, permanently. Real
+operations see richer timelines -- rolling regional outages, sites that
+flap, maintenance drains -- and a CDN evaluating a redirection technique
+wants to see *service availability over time* through such an episode.
+
+:class:`ScenarioRunner` drives one deployment through a scripted event
+timeline (site failures, silent failures, recoveries) while probing a
+client population continuously, then reports availability per time
+bucket: the fraction of probes answered by a live site. The §5.4.1
+per-target metrics answer "how fast did each client recover"; the
+availability series answers "how much service was lost over the whole
+episode", which is the SLO view (§3's "unavailability budget of a CDN,
+e.g. a few minutes per month").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.damping import DampingConfig
+from repro.bgp.session import DEFAULT_INTERNET_TIMING, SessionTiming
+from repro.core.controller import CdnController
+from repro.core.techniques import Technique
+from repro.dataplane.capture import SiteCapture
+from repro.dataplane.forwarding import ForwardingPlane
+from repro.dataplane.ping import Prober
+from repro.net.addr import IPv4Address
+from repro.topology.generator import Topology
+from repro.topology.testbed import (
+    PROBE_SOURCE,
+    SPECIFIC_PREFIX,
+    SUPERPREFIX,
+    CdnDeployment,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioEvent:
+    """One scripted action at an absolute scenario time."""
+
+    at: float
+    kind: str  # "fail" | "fail-silent" | "recover" | "drain" | "undrain"
+    site: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fail", "fail-silent", "recover", "drain", "undrain"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("event time must be non-negative")
+
+
+@dataclass(slots=True)
+class ScenarioReport:
+    """Availability over time plus the raw event log."""
+
+    events: list[ScenarioEvent]
+    bucket_s: float
+    #: per bucket: (answered probes, sent probes)
+    buckets: list[tuple[int, int]]
+
+    def availability(self) -> list[float]:
+        """Per-bucket fraction of probes answered."""
+        return [
+            answered / sent if sent else 1.0 for answered, sent in self.buckets
+        ]
+
+    def worst_bucket(self) -> float:
+        values = self.availability()
+        return min(values) if values else 1.0
+
+    def downtime_s(self, threshold: float = 0.5) -> float:
+        """Total scenario time spent with availability below ``threshold``
+        -- the unavailability-budget view of §3."""
+        return self.bucket_s * sum(
+            1 for value in self.availability() if value < threshold
+        )
+
+    def mean_availability(self) -> float:
+        values = self.availability()
+        return sum(values) / len(values) if values else 1.0
+
+
+@dataclass(slots=True)
+class ScenarioRunner:
+    """Runs a scripted failure/recovery timeline under one technique."""
+
+    topology: Topology
+    deployment: CdnDeployment
+    technique: Technique
+    specific_site: str
+    events: list[ScenarioEvent] = field(default_factory=list)
+    duration_s: float = 600.0
+    probe_interval: float = 1.5
+    bucket_s: float = 10.0
+    n_targets: int = 20
+    #: explicit target AS nodes (overrides the first-n_targets default);
+    #: pick the failing site's catchment to observe its outage
+    target_nodes: list[str] | None = None
+    detection_delay: float = 2.0
+    #: make-before-break delay for rolling back emergency announcements
+    recovery_grace: float = 0.0
+    timing: SessionTiming | None = DEFAULT_INTERNET_TIMING
+    damping: DampingConfig | None = None
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+
+    def add_event(self, at: float, kind: str, site: str) -> "ScenarioRunner":
+        self.events.append(ScenarioEvent(at=at, kind=kind, site=site))
+        return self
+
+    def fail(self, at: float, site: str) -> "ScenarioRunner":
+        return self.add_event(at, "fail", site)
+
+    def fail_silently(self, at: float, site: str) -> "ScenarioRunner":
+        return self.add_event(at, "fail-silent", site)
+
+    def recover(self, at: float, site: str) -> "ScenarioRunner":
+        return self.add_event(at, "recover", site)
+
+    def drain(self, at: float, site: str) -> "ScenarioRunner":
+        """Graceful maintenance drain (heavy prepending, no withdrawal)."""
+        return self.add_event(at, "drain", site)
+
+    def undrain(self, at: float, site: str) -> "ScenarioRunner":
+        return self.add_event(at, "undrain", site)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ScenarioReport:
+        """Execute the timeline and collect the availability series."""
+        network = self.topology.build_network(
+            seed=self.seed, timing=self.timing, damping=self.damping
+        )
+        controller = CdnController(
+            network=network,
+            deployment=self.deployment,
+            technique=self.technique,
+            prefix=SPECIFIC_PREFIX,
+            superprefix=SUPERPREFIX,
+            detection_delay=self.detection_delay,
+            recovery_grace=self.recovery_grace,
+        )
+        controller.deploy(self.specific_site)
+        network.converge()
+
+        plane = ForwardingPlane(network, self.topology)
+        capture = SiteCapture()
+        vantage = next(
+            s for s in self.deployment.site_names if s != self.specific_site
+        )
+        prober = Prober(plane, self.deployment, capture, PROBE_SOURCE, vantage)
+
+        targets: dict[IPv4Address, str] = {}
+        if self.target_nodes is not None:
+            for node in self.target_nodes:
+                info = self.topology.ases[node]
+                if info.prefix is None:
+                    raise ValueError(f"target AS {node!r} has no client prefix")
+                targets[info.prefix.address(1)] = node
+        else:
+            for info in self.topology.web_client_ases()[: self.n_targets]:
+                targets[info.prefix.address(1)] = info.node_id
+
+        start = network.now
+        for event in sorted(self.events, key=lambda e: e.at):
+            self._schedule(network, controller, prober, event)
+        prober.start(targets, interval=self.probe_interval, duration=self.duration_s)
+        network.run_for(self.duration_s + 30.0)
+
+        return self._report(prober, capture, start)
+
+    def _schedule(self, network, controller, prober, event: ScenarioEvent) -> None:
+        def fire() -> None:
+            if event.kind == "fail":
+                controller.fail_site(event.site)
+                prober.dead_sites.add(event.site)
+            elif event.kind == "fail-silent":
+                controller.fail_site_silently(event.site)
+                prober.dead_sites.add(event.site)
+            elif event.kind == "drain":
+                controller.drain_site(event.site)
+            elif event.kind == "undrain":
+                controller.undrain_site(event.site)
+            else:
+                controller.recover_site(event.site)
+                prober.dead_sites.discard(event.site)
+
+        network.engine.schedule(event.at, fire)
+
+    def _report(self, prober: Prober, capture: SiteCapture, start: float) -> ScenarioReport:
+        n_buckets = int(self.duration_s // self.bucket_s) + 1
+        sent = [0] * n_buckets
+        answered = [0] * n_buckets
+        answered_seqs = {entry.seq for entry in capture.entries}
+        for log in prober.logs.values():
+            for probe in log.sent:
+                bucket = int((probe.sent_at - start) // self.bucket_s)
+                if 0 <= bucket < n_buckets:
+                    sent[bucket] += 1
+                    if probe.seq in answered_seqs:
+                        answered[bucket] += 1
+        return ScenarioReport(
+            events=sorted(self.events, key=lambda e: e.at),
+            bucket_s=self.bucket_s,
+            buckets=list(zip(answered, sent)),
+        )

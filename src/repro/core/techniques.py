@@ -1,0 +1,290 @@
+"""CDN redirection techniques (Figure 1 of the paper).
+
+Each technique is defined by what the *specific* site and the *other*
+sites announce before a failure, and what changes afterwards:
+
+====================== ============================ ==================== =====================
+technique              specific site (before)       other sites (before) other sites (after)
+====================== ============================ ==================== =====================
+unicast                /24                          none                 unchanged
+anycast                /24                          same /24             unchanged
+proactive-superprefix  /24 (+ /23)                  covering /23         unchanged
+reactive-anycast       /24                          none                 announce the /24
+proactive-prepending   /24                          /24 prepended 3-5x   unchanged
+combined               /24 (+ /23)                  covering /23         announce the /24
+====================== ============================ ==================== =====================
+
+In every case the failing site withdraws all of its announcements (§4:
+"On site failure, we assume that the site withdraws its prefix
+announcements"); DNS-side reactions are modelled separately in
+:mod:`repro.core.controller`.
+
+Each class also carries the Table 2 qualitative attributes (control /
+availability / risk) so the Table 2 bench can assemble the matrix from
+the same objects the experiments run.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.bgp.network import BgpNetwork
+from repro.net.addr import IPv4Prefix
+from repro.topology.testbed import CdnDeployment
+
+
+@dataclass(frozen=True, slots=True)
+class Tradeoff:
+    """Table 2 row: qualitative control/availability/risk ratings."""
+
+    control: str
+    availability: str
+    risk: str
+
+
+class Technique(abc.ABC):
+    """One announcement strategy for steering clients to sites."""
+
+    #: short name used in figures and benches
+    name: str
+    #: Table 2 qualitative ratings
+    tradeoff: Tradeoff
+    #: True if the technique can steer *any* client to the specific site
+    #: under normal operation (unicast-grade control, §5.4.2)
+    full_control: bool = True
+    #: target-selection mode for the §5 experiments: "beyond-anycast"
+    #: applies the §5.1 criterion (targets anycast routes elsewhere);
+    #: "anycast-catchment" keeps exactly the targets anycast routes to the
+    #: site, the only population pure anycast can serve there.
+    selection_mode: str = "beyond-anycast"
+
+    @abc.abstractmethod
+    def announce_normal(
+        self,
+        network: BgpNetwork,
+        deployment: CdnDeployment,
+        specific_site: str,
+        prefix: IPv4Prefix,
+        superprefix: IPv4Prefix,
+    ) -> None:
+        """Make the before-failure announcements of Figure 1."""
+
+    def on_failure(
+        self,
+        network: BgpNetwork,
+        deployment: CdnDeployment,
+        failed_site: str,
+        prefix: IPv4Prefix,
+        superprefix: IPv4Prefix,
+    ) -> None:
+        """React to the failure *after* it has been detected.
+
+        The failed site's own withdrawals have already happened; only
+        reactive techniques add announcements here.
+        """
+
+    def on_recovery(
+        self,
+        network: BgpNetwork,
+        deployment: CdnDeployment,
+        recovered_site: str,
+        prefix: IPv4Prefix,
+        superprefix: IPv4Prefix,
+    ) -> None:
+        """Undo any failure-time reconfiguration once the site is back.
+
+        Called after the recovered site has re-made its normal
+        announcements; reactive techniques withdraw their emergency
+        announcements here so control returns to the intended site.
+        """
+
+    # ------------------------------------------------------------------
+
+    def _other_sites(self, deployment: CdnDeployment, specific_site: str) -> list[str]:
+        return [s for s in deployment.site_names if s != specific_site]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Unicast(Technique):
+    """DNS-based redirection over per-site unicast prefixes (§2).
+
+    Full control, but failover waits on DNS caches (and their violators):
+    no BGP-side backup exists at all.
+    """
+
+    name = "unicast"
+    tradeoff = Tradeoff(control="high", availability="low", risk="low")
+
+    def announce_normal(self, network, deployment, specific_site, prefix, superprefix):
+        network.announce(deployment.site_node(specific_site), prefix)
+
+
+class Anycast(Technique):
+    """Pure IP anycast (§2): every site announces the same prefix.
+
+    BGP picks the site, so the CDN has little say (low control), but
+    withdrawal at a failed site converges fast onto pre-existing routes.
+    """
+
+    name = "anycast"
+    tradeoff = Tradeoff(control="low", availability="high", risk="low")
+    full_control = False
+    selection_mode = "anycast-catchment"
+
+    def announce_normal(self, network, deployment, specific_site, prefix, superprefix):
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), prefix)
+
+
+class ProactiveSuperprefix(Technique):
+    """Unicast /24 plus a covering /23 from every site (§3).
+
+    Longest-prefix matching preserves unicast control while the /24
+    exists; after withdrawal, traffic falls through to the /23 -- but only
+    once the /24's slow path-hunting convergence finishes, which is why
+    §3 rejects this as a solution.
+    """
+
+    name = "proactive-superprefix"
+    tradeoff = Tradeoff(control="high", availability="medium", risk="low")
+
+    def announce_normal(self, network, deployment, specific_site, prefix, superprefix):
+        network.announce(deployment.site_node(specific_site), prefix)
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), superprefix)
+
+
+class ReactiveAnycast(Technique):
+    """Unicast normally; on failure all other sites announce the /24 (§4).
+
+    Control of unicast, failover of anycast -- at the price of a global,
+    failure-triggered reconfiguration (the "high risk" entry of Table 2).
+    """
+
+    name = "reactive-anycast"
+    tradeoff = Tradeoff(control="high", availability="high", risk="high")
+
+    def announce_normal(self, network, deployment, specific_site, prefix, superprefix):
+        network.announce(deployment.site_node(specific_site), prefix)
+
+    def on_failure(self, network, deployment, failed_site, prefix, superprefix):
+        for site in self._other_sites(deployment, failed_site):
+            network.announce(deployment.site_node(site), prefix)
+
+    def on_recovery(self, network, deployment, recovered_site, prefix, superprefix):
+        for site in self._other_sites(deployment, recovered_site):
+            network.withdraw(deployment.site_node(site), prefix)
+
+
+class ProactivePrepending(Technique):
+    """Anycast with AS-path prepending at the non-intended sites (§4).
+
+    Backup routes are in place before the failure (no reconfiguration
+    risk) but cost some control: a neighbor can prefer a prepended route
+    for LOCAL_PREF reasons (Appendix C.1).
+
+    ``restrict_to_shared_neighbors`` implements the paper's
+    recommendation of announcing the prepended route only to neighbors
+    that also connect to the specific site; §5.2 notes the evaluation
+    does *not* apply it (PEERING providers differ by site), so it
+    defaults to off.
+    """
+
+    name = "proactive-prepending"
+    tradeoff = Tradeoff(control="medium", availability="high", risk="low")
+    full_control = False
+
+    def __init__(self, prepend: int = 3, restrict_to_shared_neighbors: bool = False) -> None:
+        if prepend < 1:
+            raise ValueError(f"prepend must be >= 1, got {prepend}")
+        self.prepend = prepend
+        self.restrict_to_shared_neighbors = restrict_to_shared_neighbors
+        self.name = f"proactive-prepending-{prepend}"
+
+    def announce_normal(self, network, deployment, specific_site, prefix, superprefix):
+        specific_node = deployment.site_node(specific_site)
+        network.announce(specific_node, prefix)
+        shared: frozenset[str] | None = None
+        if self.restrict_to_shared_neighbors:
+            shared = frozenset(network.neighbors(specific_node))
+        for site in self._other_sites(deployment, specific_site):
+            node = deployment.site_node(site)
+            neighbors = None
+            if shared is not None:
+                neighbors = frozenset(n for n in network.neighbors(node) if n in shared)
+            network.announce(node, prefix, prepend=self.prepend, neighbors=neighbors)
+
+
+class ProactiveMed(Technique):
+    """Anycast with MED-deterred backups (the §4 "BGP MED could also be
+    used for neighbors that support it" variant).
+
+    Every site announces the prefix; non-intended sites attach a higher
+    MED. Neighbors connected to multiple sites honour the MED and pick
+    the intended one; neighbors connected to a single site are
+    uncontrolled (MED never crosses an AS boundary). Because the backup
+    paths are *not* longer, failover does not pay prepending's extra
+    exploration -- the technique trades reach of control for it.
+    """
+
+    name = "proactive-med"
+    tradeoff = Tradeoff(control="medium", availability="high", risk="low")
+    full_control = False
+
+    def __init__(self, backup_med: int = 100) -> None:
+        if backup_med < 1:
+            raise ValueError(f"backup_med must be >= 1, got {backup_med}")
+        self.backup_med = backup_med
+        self.name = f"proactive-med-{backup_med}"
+
+    def announce_normal(self, network, deployment, specific_site, prefix, superprefix):
+        network.announce(deployment.site_node(specific_site), prefix, med=0)
+        for site in self._other_sites(deployment, specific_site):
+            network.announce(deployment.site_node(site), prefix, med=self.backup_med)
+
+
+class Combined(Technique):
+    """reactive-anycast + proactive-superprefix (§4's combined variant).
+
+    The covering /23 is meant to catch routers that see the withdrawal
+    before an alternate /24 route; the paper found it faster only for the
+    fastest ~20% of failovers and much worse in the tail.
+    """
+
+    name = "combined"
+    tradeoff = Tradeoff(control="high", availability="high", risk="high")
+
+    def announce_normal(self, network, deployment, specific_site, prefix, superprefix):
+        network.announce(deployment.site_node(specific_site), prefix)
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), superprefix)
+
+    def on_failure(self, network, deployment, failed_site, prefix, superprefix):
+        for site in self._other_sites(deployment, failed_site):
+            network.announce(deployment.site_node(site), prefix)
+
+    def on_recovery(self, network, deployment, recovered_site, prefix, superprefix):
+        for site in self._other_sites(deployment, recovered_site):
+            network.withdraw(deployment.site_node(site), prefix)
+
+
+#: The techniques compared in Figure 2 / Table 2, by canonical name.
+TECHNIQUES: dict[str, type[Technique]] = {
+    "unicast": Unicast,
+    "anycast": Anycast,
+    "proactive-superprefix": ProactiveSuperprefix,
+    "reactive-anycast": ReactiveAnycast,
+    "proactive-prepending": ProactivePrepending,
+    "proactive-med": ProactiveMed,
+    "combined": Combined,
+}
+
+
+def technique_by_name(name: str, **kwargs) -> Technique:
+    """Instantiate a technique by its canonical name."""
+    if name not in TECHNIQUES:
+        raise KeyError(f"unknown technique {name!r}; have {sorted(TECHNIQUES)}")
+    return TECHNIQUES[name](**kwargs)

@@ -1,0 +1,46 @@
+"""Per-site packet capture (the experiment's tcpdump stand-in).
+
+§5.2: "run tcpdump at each site to record when and at which PEERING site
+the replies from targets arrive". :class:`SiteCapture` is that record:
+every reply delivered anywhere in the deployment lands here, tagged with
+the receiving site and the probe's sequence number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addr import IPv4Address
+
+
+@dataclass(frozen=True, slots=True)
+class CaptureEntry:
+    """One captured reply."""
+
+    time: float
+    site: str
+    target: IPv4Address
+    seq: int
+
+
+class SiteCapture:
+    """Append-only log of replies received across all sites."""
+
+    def __init__(self) -> None:
+        self.entries: list[CaptureEntry] = []
+
+    def record(self, time: float, site: str, target: IPv4Address, seq: int) -> None:
+        self.entries.append(CaptureEntry(time, site, target, seq))
+
+    def for_target(self, target: IPv4Address) -> list[CaptureEntry]:
+        """All replies from one target, in capture order."""
+        return [e for e in self.entries if e.target == target]
+
+    def sites_seen(self) -> set[str]:
+        return {e.site for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def clear(self) -> None:
+        self.entries.clear()

@@ -1,0 +1,177 @@
+"""Hop-by-hop packet forwarding over live FIBs.
+
+Two forwarding paths exist, matching how the experiment uses them:
+
+* **toward clients** (probe requests): client prefixes are not carried in
+  the dynamic BGP simulation, so requests follow the static valley-free
+  policy path to the target AS (see
+  :mod:`repro.topology.static_routes`) and arrive after its one-way
+  latency;
+* **toward the CDN** (probe replies): each hop does a longest-prefix-match
+  lookup in that router's *current* FIB and the packet advances as an
+  event on the simulation clock. Convergence can therefore reroute,
+  loop, or blackhole a reply mid-flight.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bgp.network import BgpNetwork
+from repro.net.addr import IPv4Address
+from repro.net.packet import Packet
+from repro.topology.generator import Topology
+from repro.topology.static_routes import StaticRoutes
+
+#: Packets are dropped after this many AS hops (transient loops).
+MAX_HOPS = 64
+
+
+class DropReason(enum.Enum):
+    NO_ROUTE = "no-route"
+    LOOP = "loop"
+    TTL_EXCEEDED = "ttl-exceeded"
+
+
+@dataclass(frozen=True, slots=True)
+class ForwardResult:
+    """Outcome of a hop-by-hop forward."""
+
+    delivered_to: str | None
+    path: tuple[str, ...]
+    #: simulated time of delivery or drop
+    completed_at: float
+    drop_reason: DropReason | None = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_to is not None
+
+
+class ForwardingPlane:
+    """Forwards packets over a network built from a topology."""
+
+    def __init__(self, network: BgpNetwork, topology: Topology) -> None:
+        self.network = network
+        self.topology = topology
+        self._static_cache: dict[str, StaticRoutes] = {}
+        #: every completed forward, for diagnostics
+        self.drops: list[ForwardResult] = []
+
+    # ------------------------------------------------------------------
+    # Static direction (CDN -> client)
+
+    def static_routes_to(self, dest_node: str) -> StaticRoutes:
+        """Cached static policy routes toward ``dest_node``."""
+        routes = self._static_cache.get(dest_node)
+        if routes is None:
+            routes = StaticRoutes(self.topology, dest_node)
+            self._static_cache[dest_node] = routes
+        return routes
+
+    def owner_of(self, address: IPv4Address) -> str | None:
+        """The AS node whose client prefix contains ``address``."""
+        for info in self.topology.ases.values():
+            if info.prefix is not None and info.prefix.contains(address):
+                return info.node_id
+        return None
+
+    def latency_to_client(self, src_node: str, dest_node: str) -> float | None:
+        """One-way latency along the static policy path, seconds."""
+        path = self.static_routes_to(dest_node).path(src_node)
+        if path is None:
+            return None
+        return self.topology.path_latency(path)
+
+    # ------------------------------------------------------------------
+    # Dynamic direction (client -> CDN prefix), event-driven
+
+    def forward(
+        self,
+        start_node: str,
+        packet: Packet,
+        on_complete: Callable[[ForwardResult], None],
+    ) -> None:
+        """Forward ``packet`` from ``start_node`` using live FIBs.
+
+        Each hop consumes the link's latency on the simulation clock and
+        re-resolves the next hop at that future instant. ``on_complete``
+        fires exactly once, with delivery or a drop.
+        """
+        self._hop(packet, start_node, (start_node,), on_complete)
+
+    def _hop(
+        self,
+        packet: Packet,
+        node: str,
+        path: tuple[str, ...],
+        on_complete: Callable[[ForwardResult], None],
+    ) -> None:
+        engine = self.network.engine
+        if len(path) > MAX_HOPS:
+            self._finish(
+                ForwardResult(None, path, engine.now, DropReason.TTL_EXCEEDED), on_complete
+            )
+            return
+        next_hop = self.network.next_hop(node, packet.dst)
+        if next_hop is None:
+            self._finish(
+                ForwardResult(None, path, engine.now, DropReason.NO_ROUTE), on_complete
+            )
+            return
+        if next_hop == node:
+            # Locally originated covering prefix: delivered here.
+            self._finish(ForwardResult(node, path, engine.now), on_complete)
+            return
+        last_concrete = self._last_concrete(path)
+        latency = self.topology.hop_latency(last_concrete, node, next_hop)
+        engine.schedule(
+            latency,
+            lambda: self._hop(packet, next_hop, path + (next_hop,), on_complete),
+        )
+
+    def _last_concrete(self, path: tuple[str, ...]) -> str:
+        """Most recent non-distributed node on the path (see geo model)."""
+        for node in reversed(path):
+            if not self.topology.ases[node].as_class.is_distributed:
+                return node
+        return path[0]
+
+    def _finish(
+        self, result: ForwardResult, on_complete: Callable[[ForwardResult], None]
+    ) -> None:
+        if not result.delivered:
+            self.drops.append(result)
+        on_complete(result)
+
+    # ------------------------------------------------------------------
+    # Instantaneous trace (control-plane view of the current FIBs)
+
+    def snapshot_path(self, start_node: str, dst: IPv4Address) -> ForwardResult:
+        """The path the current FIBs would produce, without advancing time.
+
+        Used by traceroute emulation and catchment checks, where the
+        question is "where would a packet go *right now*".
+        """
+        node = start_node
+        path = [node]
+        while True:
+            if len(path) > MAX_HOPS:
+                return ForwardResult(
+                    None, tuple(path), self.network.engine.now, DropReason.TTL_EXCEEDED
+                )
+            next_hop = self.network.next_hop(node, dst)
+            if next_hop is None:
+                return ForwardResult(
+                    None, tuple(path), self.network.engine.now, DropReason.NO_ROUTE
+                )
+            if next_hop == node:
+                return ForwardResult(node, tuple(path), self.network.engine.now)
+            if next_hop in path:
+                return ForwardResult(
+                    None, tuple(path + [next_hop]), self.network.engine.now, DropReason.LOOP
+                )
+            node = next_hop
+            path.append(node)

@@ -1,0 +1,106 @@
+"""DNS clients, including TTL violators.
+
+Allman (IMC 2020) found many connections established *after* the DNS
+record's TTL expired, with a median of 890 s past expiration -- the
+paper's §1/§2 cites this as the reason DNS TTLs cannot guarantee unicast
+failover. :class:`TtlViolationModel` reproduces that behaviour: a
+configurable fraction of lookups keep using an expired record for an
+extra duration drawn from a long-tailed distribution.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.dns.records import ARecord
+from repro.dns.resolver import RecursiveResolver
+from repro.net.addr import IPv4Address
+
+#: Median seconds past TTL expiry observed by Allman 2020.
+ALLMAN_MEDIAN_OVERSTAY_S = 890.0
+
+
+@dataclass(frozen=True, slots=True)
+class TtlViolationModel:
+    """How a client (mis)handles record expiry.
+
+    Attributes:
+        violation_prob: probability a given record is used past expiry.
+        median_overstay: median of the lognormal extra-use duration.
+        sigma: lognormal shape; the default gives a heavy tail similar in
+            spirit to the measured distribution.
+    """
+
+    violation_prob: float = 0.3
+    median_overstay: float = ALLMAN_MEDIAN_OVERSTAY_S
+    sigma: float = 1.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.violation_prob <= 1.0:
+            raise ValueError(f"violation_prob must be in [0, 1], got {self.violation_prob}")
+        if self.median_overstay < 0:
+            raise ValueError("median_overstay must be non-negative")
+
+    def sample_overstay(self, rng: random.Random) -> float:
+        """Seconds past expiry this record will keep being used (0 if the
+        client honours the TTL this time)."""
+        if rng.random() >= self.violation_prob:
+            return 0.0
+        return rng.lognormvariate(math.log(max(self.median_overstay, 1e-9)), self.sigma)
+
+    @classmethod
+    def compliant(cls) -> "TtlViolationModel":
+        """A client that always honours TTLs."""
+        return cls(violation_prob=0.0)
+
+
+class DnsClient:
+    """An end host that resolves the CDN's name and caches the answer.
+
+    The client keeps one record at a time; ``lookup`` returns the address
+    it would connect to *now*, re-resolving only once the record expires
+    plus any sampled overstay.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        resolver: RecursiveResolver,
+        violation: TtlViolationModel | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.client_id = client_id
+        self.resolver = resolver
+        self.violation = violation or TtlViolationModel.compliant()
+        self.rng = rng or random.Random(hash(client_id) & 0xFFFFFFFF)
+        self._record: ARecord | None = None
+        self._usable_until = -math.inf
+        self.lookups = 0
+        self.resolutions = 0
+
+    def lookup(self, qname: str, now: float) -> IPv4Address:
+        """The address this client connects to at time ``now``."""
+        self.lookups += 1
+        if self._record is not None and self._record.name == qname and now <= self._usable_until:
+            return self._record.address
+        record = self.resolver.resolve(qname, self.client_id, now)
+        self._record = record
+        self._usable_until = record.expires_at + self.violation.sample_overstay(self.rng)
+        self.resolutions += 1
+        return record.address
+
+    @property
+    def current_record(self) -> ARecord | None:
+        return self._record
+
+    def switch_time(self, qname: str, now: float) -> float:
+        """When this client will next consult DNS again (at the earliest).
+
+        Useful for computing DNS-bound failover analytically: until this
+        time the client keeps using the current address.
+        """
+        if self._record is None or self._record.name != qname:
+            return now
+        return max(now, self._usable_until)

@@ -1,0 +1,39 @@
+"""DNS resource records (the subset the CDN redirection path needs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addr import IPv4Address
+
+
+@dataclass(frozen=True, slots=True)
+class ARecord:
+    """An address record: ``name`` resolves to ``address`` for ``ttl`` s.
+
+    ``issued_at`` is stamped by whoever served the record, so holders can
+    tell when it expires without carrying extra state around.
+    """
+
+    name: str
+    address: IPv4Address
+    ttl: float
+    issued_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0:
+            raise ValueError(f"TTL must be non-negative, got {self.ttl}")
+        if not self.name:
+            raise ValueError("record name must be non-empty")
+
+    @property
+    def expires_at(self) -> float:
+        return self.issued_at + self.ttl
+
+    def fresh_at(self, now: float) -> bool:
+        """True if the record is within its TTL at time ``now``."""
+        return now <= self.expires_at
+
+    def reissued(self, now: float) -> "ARecord":
+        """A copy stamped as served at ``now`` (cache hand-out)."""
+        return ARecord(self.name, self.address, self.ttl, issued_at=now)

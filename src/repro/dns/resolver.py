@@ -1,0 +1,72 @@
+"""Caching recursive resolvers.
+
+Recursive resolvers sit between clients and the CDN's authoritative
+server and cache answers for their TTL. The cache is exactly why unicast
+failover is slow: after the CDN rewrites a record, clients keep receiving
+the stale cached answer until it expires (§2).
+"""
+
+from __future__ import annotations
+
+from repro.dns.authoritative import AuthoritativeServer
+from repro.dns.records import ARecord
+
+
+class RecursiveResolver:
+    """A TTL-honoring caching resolver.
+
+    ``ttl_cap`` models resolvers that clamp TTLs (some cap very large
+    values; setting a *floor* via ``ttl_floor`` models resolvers that
+    refuse tiny TTLs, one of the TTL-violation behaviours studied in
+    Moura et al. 2019).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        authoritative: AuthoritativeServer,
+        ttl_cap: float | None = None,
+        ttl_floor: float | None = None,
+    ) -> None:
+        if ttl_cap is not None and ttl_floor is not None and ttl_floor > ttl_cap:
+            raise ValueError("ttl_floor cannot exceed ttl_cap")
+        self.name = name
+        self.authoritative = authoritative
+        self.ttl_cap = ttl_cap
+        self.ttl_floor = ttl_floor
+        self._cache: dict[str, ARecord] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def resolve(self, qname: str, client_id: str, now: float) -> ARecord:
+        """Answer from cache if fresh, else fetch from the authoritative.
+
+        The remaining TTL is passed through on cache hits, as real
+        resolvers do (clients see a decreasing TTL).
+        """
+        cached = self._cache.get(qname)
+        if cached is not None and cached.fresh_at(now):
+            self.cache_hits += 1
+            remaining = cached.expires_at - now
+            return ARecord(qname, cached.address, remaining, issued_at=now)
+        self.cache_misses += 1
+        answer = self.authoritative.query(qname, client_id, now)
+        effective_ttl = answer.ttl
+        if self.ttl_cap is not None:
+            effective_ttl = min(effective_ttl, self.ttl_cap)
+        if self.ttl_floor is not None:
+            effective_ttl = max(effective_ttl, self.ttl_floor)
+        stored = ARecord(qname, answer.address, effective_ttl, issued_at=now)
+        self._cache[qname] = stored
+        return stored
+
+    def flush(self, qname: str | None = None) -> None:
+        """Drop one cached name, or everything."""
+        if qname is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(qname, None)
+
+    def cached_record(self, qname: str) -> ARecord | None:
+        """Peek at the cache without serving (for tests/analysis)."""
+        return self._cache.get(qname)

@@ -1,0 +1,74 @@
+"""Measurement and analysis layer.
+
+Everything the paper's evaluation computes from raw experiment artefacts
+lives here: target selection (§5.1), anycast catchments, Table-1 traffic
+control, per-⟨collector peer, event⟩ convergence and propagation times
+(Appendices A and B, via the routing-history emulation), the Appendix C.1
+diverging-AS analysis, and CDF/statistics utilities shared by the
+benches.
+"""
+
+from repro.measurement.stats import Cdf, summarize
+from repro.measurement.hitlist import Hitlist, TargetSelection, select_targets
+from repro.measurement.catchment import anycast_catchment, catchment_from_network
+from repro.measurement.control import ControlResult, measure_control
+from repro.measurement.convergence import (
+    estimate_event_time,
+    propagation_times,
+    withdrawal_convergence_times,
+)
+from repro.measurement.routing_history import RoutingHistory, WithdrawalEvent
+from repro.measurement.divergence import DivergenceReport, analyze_divergence
+from repro.measurement.export import (
+    cdf_to_dict,
+    control_result_to_dict,
+    failover_result_to_dict,
+    load_json,
+    outcome_to_dict,
+    save_json,
+)
+from repro.measurement.performance import (
+    PerformanceReport,
+    SiteRttTable,
+    analyze_performance,
+)
+from repro.measurement.plotting import render_cdfs
+from repro.measurement.appendix import (
+    AppendixSamples,
+    announced_prefix_snapshot,
+    run_propagation_study,
+    run_withdrawal_study,
+)
+
+__all__ = [
+    "Cdf",
+    "summarize",
+    "Hitlist",
+    "TargetSelection",
+    "select_targets",
+    "anycast_catchment",
+    "catchment_from_network",
+    "ControlResult",
+    "measure_control",
+    "estimate_event_time",
+    "propagation_times",
+    "withdrawal_convergence_times",
+    "RoutingHistory",
+    "WithdrawalEvent",
+    "DivergenceReport",
+    "analyze_divergence",
+    "AppendixSamples",
+    "announced_prefix_snapshot",
+    "run_propagation_study",
+    "run_withdrawal_study",
+    "cdf_to_dict",
+    "control_result_to_dict",
+    "failover_result_to_dict",
+    "load_json",
+    "outcome_to_dict",
+    "save_json",
+    "PerformanceReport",
+    "SiteRttTable",
+    "analyze_performance",
+    "render_cdfs",
+]

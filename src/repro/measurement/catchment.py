@@ -1,0 +1,61 @@
+"""Anycast catchment measurement.
+
+The catchment of a site is the set of clients whose BGP-selected route
+for the anycast prefix terminates there. The paper measures catchments
+with Verfploeter-style probing; in simulation the selected route's origin
+is directly visible in each client AS's Loc-RIB, which is equivalent to
+observing where that AS's replies land.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.network import BgpNetwork
+from repro.bgp.session import SessionTiming
+from repro.net.addr import IPv4Prefix
+from repro.topology.generator import Topology
+from repro.topology.testbed import CdnDeployment, SPECIFIC_PREFIX
+
+
+def catchment_from_network(
+    network: BgpNetwork,
+    deployment: CdnDeployment,
+    prefix: IPv4Prefix,
+    nodes: list[str],
+) -> dict[str, str | None]:
+    """Read the current catchment off a (converged) network.
+
+    Returns node -> site name, or None where the node has no route to
+    ``prefix`` (or is routed to a non-site origin, which cannot happen
+    for the CDN's own prefixes).
+    """
+    result: dict[str, str | None] = {}
+    for node in nodes:
+        route = network.router(node).best_route(prefix)
+        if route is None:
+            result[node] = None
+        else:
+            result[node] = deployment.site_of_node(route.origin_node)
+    return result
+
+
+def anycast_catchment(
+    topology: Topology,
+    deployment: CdnDeployment,
+    prefix: IPv4Prefix = SPECIFIC_PREFIX,
+    seed: int = 0,
+    timing: SessionTiming | None = None,
+    nodes: list[str] | None = None,
+) -> dict[str, str | None]:
+    """Compute the pure-anycast catchment on a fresh network.
+
+    Announces ``prefix`` from every site, converges, and reads each
+    client AS's selected origin. ``nodes`` defaults to all web-client
+    ASes (the §5.1 population).
+    """
+    network = topology.build_network(seed=seed, timing=timing)
+    for site in deployment.site_names:
+        network.announce(deployment.site_node(site), prefix)
+    network.converge()
+    if nodes is None:
+        nodes = [info.node_id for info in topology.web_client_ases()]
+    return catchment_from_network(network, deployment, prefix, nodes)

@@ -1,0 +1,162 @@
+"""Diverging-AS analysis (Appendix C.1).
+
+Why do clients route to sites announcing *prepended* routes? The paper
+answers by comparing, per target, the reverse AS path toward a unicast
+prefix ``u`` (announced only at the intended site) against the reverse
+AS path toward an anycast prefix ``a5`` (all sites, others prepending
+five times), then:
+
+* finds the *diverging AS* -- the last AS common to both paths;
+* checks whether the diverging AS's next hop toward ``a5`` is an R&E
+  network while its next hop toward ``u`` is commercial (54% of
+  non-intended targets in the paper);
+* checks whether the divergence follows standard business preference --
+  the ``a5`` next hop is reached over a more-preferred link class
+  (customer > peer > provider) than the ``u`` next hop (82% of the
+  classifiable pairs);
+* confirms AS-path length is not the cause (no ``u`` path more than the
+  prepend count longer than its ``a5`` path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataplane.traceroute import PathPair, as_level_path
+from repro.topology.generator import Topology
+from repro.topology.relationships import RelationshipDataset
+from repro.topology.testbed import CdnDeployment
+
+
+@dataclass(frozen=True, slots=True)
+class PairAnalysis:
+    """Classification of one target's path pair."""
+
+    target_node: str
+    went_to_intended: bool
+    diverging_asn: int | None
+    next_hop_unicast: int | None
+    next_hop_anycast: int | None
+    anycast_via_research: bool
+    #: True if relationship data covered both divergent links
+    classified: bool
+    #: True if the anycast-side link class is strictly more preferred
+    policy_preferred: bool
+    #: len(u path) - len(a5 path) at AS level
+    unicast_path_excess: int
+
+
+@dataclass(slots=True)
+class DivergenceReport:
+    """Aggregate Appendix C.1 numbers."""
+
+    pairs: list[PairAnalysis] = field(default_factory=list)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def n_to_intended(self) -> int:
+        return sum(1 for p in self.pairs if p.went_to_intended)
+
+    @property
+    def diverged(self) -> list[PairAnalysis]:
+        return [p for p in self.pairs if not p.went_to_intended]
+
+    @property
+    def research_next_hop_frac(self) -> float:
+        """Of diverged targets, fraction whose a5 next hop is R&E."""
+        diverged = self.diverged
+        if not diverged:
+            return 0.0
+        return sum(1 for p in diverged if p.anycast_via_research) / len(diverged)
+
+    @property
+    def policy_preferred_frac(self) -> float:
+        """Of *classifiable* diverged targets, fraction explained by
+        customer>peer>provider preference (the paper's 82%)."""
+        classified = [p for p in self.diverged if p.classified]
+        if not classified:
+            return 0.0
+        return sum(1 for p in classified if p.policy_preferred) / len(classified)
+
+    @property
+    def max_unicast_path_excess(self) -> int:
+        if not self.pairs:
+            return 0
+        return max(p.unicast_path_excess for p in self.pairs)
+
+
+def _diverging_point(path_u: list[int], path_a: list[int]) -> int:
+    """Index of the last common element walking from the target side."""
+    last = -1
+    for i, (u, a) in enumerate(zip(path_u, path_a)):
+        if u != a:
+            break
+        last = i
+    return last
+
+
+def analyze_divergence(
+    topology: Topology,
+    deployment: CdnDeployment,
+    intended_site: str,
+    pairs: list[PathPair],
+    relationships: RelationshipDataset,
+) -> DivergenceReport:
+    """Run the Appendix C.1 analysis over measured path pairs."""
+    by_asn = {info.asn: info for info in topology.ases.values()}
+    intended_node = deployment.site_node(intended_site)
+    report = DivergenceReport()
+    for pair in pairs:
+        as_u = as_level_path(topology, pair.to_unicast)
+        as_a = as_level_path(topology, pair.to_anycast)
+        went_to_intended = pair.to_anycast[-1] == intended_node
+        excess = len(as_u) - len(as_a)
+        if went_to_intended:
+            report.pairs.append(
+                PairAnalysis(
+                    target_node=pair.target_node,
+                    went_to_intended=True,
+                    diverging_asn=None,
+                    next_hop_unicast=None,
+                    next_hop_anycast=None,
+                    anycast_via_research=False,
+                    classified=False,
+                    policy_preferred=False,
+                    unicast_path_excess=excess,
+                )
+            )
+            continue
+        idx = _diverging_point(as_u, as_a)
+        diverging_asn = as_u[idx] if idx >= 0 else None
+        next_u = as_u[idx + 1] if idx >= 0 and idx + 1 < len(as_u) else None
+        next_a = as_a[idx + 1] if idx >= 0 and idx + 1 < len(as_a) else None
+        research = (
+            next_a is not None
+            and next_a in by_asn
+            and by_asn[next_a].as_class.is_research
+        )
+        classified = False
+        policy_preferred = False
+        if diverging_asn is not None and next_u is not None and next_a is not None:
+            rank_u = relationships.preference_rank(diverging_asn, next_u)
+            rank_a = relationships.preference_rank(diverging_asn, next_a)
+            if rank_u is not None and rank_a is not None:
+                classified = True
+                policy_preferred = rank_a < rank_u
+        report.pairs.append(
+            PairAnalysis(
+                target_node=pair.target_node,
+                went_to_intended=False,
+                diverging_asn=diverging_asn,
+                next_hop_unicast=next_u,
+                next_hop_anycast=next_a,
+                anycast_via_research=research,
+                classified=classified,
+                policy_preferred=policy_preferred,
+                unicast_path_excess=excess,
+            )
+        )
+    return report

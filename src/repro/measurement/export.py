@@ -1,0 +1,90 @@
+"""Result serialization.
+
+Experiments produce rich in-memory objects (outcomes, CDFs, control
+tables). This module renders them to plain JSON-able dictionaries so
+runs can be archived, diffed across revisions, or analysed outside
+Python -- the usual workflow around a measurement paper's artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any
+
+from repro.core.experiment import SiteFailoverResult
+from repro.core.metrics import TargetOutcome
+from repro.measurement.control import ControlResult
+from repro.measurement.stats import Cdf
+
+
+def _finite(value: float | None) -> float | None:
+    """JSON has no inf; censored/absent values serialize as None."""
+    if value is None or not math.isfinite(value):
+        return None
+    return value
+
+
+def outcome_to_dict(outcome: TargetOutcome) -> dict[str, Any]:
+    return {
+        "target": str(outcome.target),
+        "failed_site": outcome.failed_site,
+        "reconnection_s": _finite(outcome.reconnection_s),
+        "failover_s": _finite(outcome.failover_s),
+        "bounces": outcome.bounces,
+        "disconnections": outcome.disconnections,
+        "final_site": outcome.final_site,
+    }
+
+
+def cdf_to_dict(cdf: Cdf) -> dict[str, Any]:
+    xs, ys = cdf.series()
+    payload: dict[str, Any] = {
+        "n": cdf.n,
+        "censored": cdf.censored,
+        "points": [[x, y] for x, y in zip(xs, ys)],
+    }
+    if cdf.n:
+        payload["p50"] = _finite(cdf.median())
+        payload["p90"] = _finite(cdf.quantile(0.9))
+    return payload
+
+
+def failover_result_to_dict(result: SiteFailoverResult) -> dict[str, Any]:
+    return {
+        "technique": result.technique,
+        "site": result.site,
+        "withdrawal_time": result.withdrawal_time,
+        "targets_selected": len(result.selection.targets),
+        "controllable": len(result.controllable),
+        "controllable_frac": result.controllable_frac,
+        "outcomes": [outcome_to_dict(o) for o in result.outcomes],
+        "reconnection_cdf": cdf_to_dict(
+            Cdf.from_optional([o.reconnection_s for o in result.outcomes])
+        ),
+        "failover_cdf": cdf_to_dict(
+            Cdf.from_optional([o.failover_s for o in result.outcomes])
+        ),
+    }
+
+
+def control_result_to_dict(result: ControlResult) -> dict[str, Any]:
+    return {
+        "site": result.site,
+        "nearby": result.nearby,
+        "not_routed_by_anycast": result.not_routed_by_anycast,
+        "controllable": {str(k): v for k, v in result.controllable.items()},
+    }
+
+
+def save_json(path: str | pathlib.Path, payload: Any) -> pathlib.Path:
+    """Write a JSON document (pretty-printed, stable key order)."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_json(path: str | pathlib.Path) -> Any:
+    return json.loads(pathlib.Path(path).read_text())

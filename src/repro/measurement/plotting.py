@@ -1,0 +1,100 @@
+"""Terminal rendering of CDFs.
+
+The paper's Figures 2-5 are CDFs on log-scale time axes. The benches and
+examples render the same series as ASCII so a full figure can be read in
+a terminal or a CI log -- no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.measurement.stats import Cdf
+
+#: Glyphs cycled across series.
+GLYPHS = "ox+*#@%&"
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    """Decade ticks covering [lo, hi]."""
+    lo = max(lo, 1e-3)
+    first = math.floor(math.log10(lo))
+    last = math.ceil(math.log10(max(hi, lo * 10)))
+    return [10.0**e for e in range(first, last + 1)]
+
+
+def render_cdfs(
+    series: dict[str, Cdf],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    x_label: str = "time (s)",
+) -> str:
+    """Render named CDFs as an ASCII chart (paper-figure style).
+
+    Censored mass keeps a curve from reaching 1.0, exactly as it keeps
+    the paper's CDFs from topping out.
+    """
+    populated = {name: cdf for name, cdf in series.items() if cdf.n > 0}
+    if not populated:
+        return "(no data)"
+    xs_all: list[float] = []
+    for cdf in populated.values():
+        xs, _ = cdf.series()
+        xs_all.extend(x for x in xs if x > 0)
+    if not xs_all:
+        return "(all samples censored)"
+    lo, hi = min(xs_all), max(xs_all)
+    if log_x:
+        lo = max(lo, 1e-3)
+        hi = max(hi, lo * 1.001)
+
+    def column(x: float) -> int:
+        if log_x:
+            frac = (math.log10(max(x, lo)) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        else:
+            frac = (x - lo) / (hi - lo) if hi > lo else 0.0
+        return min(width - 1, max(0, int(frac * (width - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, cdf), glyph in zip(populated.items(), GLYPHS):
+        for col in range(width):
+            if log_x:
+                x = 10 ** (
+                    math.log10(lo)
+                    + col / (width - 1) * (math.log10(hi) - math.log10(lo))
+                )
+            else:
+                x = lo + col / (width - 1) * (hi - lo)
+            y = cdf.at(x)
+            row = height - 1 - min(height - 1, int(y * (height - 1)))
+            # Later series overwrite on conflict so every curve stays
+            # visible where they overlap.
+            grid[row][col] = glyph
+
+    lines = []
+    for i, row in enumerate(grid):
+        y_value = 1.0 - i / (height - 1)
+        label = f"{y_value:4.2f} |" if i % 5 == 0 or i == height - 1 else "     |"
+        lines.append(label + "".join(row))
+    lines.append("     +" + "-" * width)
+
+    if log_x:
+        tick_line = [" "] * (width + 12)
+        for tick in _log_ticks(lo, hi):
+            if tick < lo or tick > hi:
+                continue
+            col = 6 + column(tick)
+            text = f"{tick:g}"
+            for offset, ch in enumerate(text):
+                if col + offset < len(tick_line):
+                    tick_line[col + offset] = ch
+        lines.append("".join(tick_line))
+    lines.append(f"      {x_label}")
+    legend = "   ".join(
+        f"{glyph} {name}" for (name, _), glyph in zip(populated.items(), GLYPHS)
+    )
+    lines.append(f"      {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Addressing and packet substrate.
+
+This package provides the low-level building blocks shared by the BGP
+simulator and the data plane: IPv4 addresses and prefixes (`repro.net.addr`),
+a longest-prefix-match trie (`repro.net.lpm`), and packet dataclasses
+(`repro.net.packet`).
+"""
+
+from repro.net.addr import IPv4Address, IPv4Prefix, IPv6Address, IPv6Prefix
+from repro.net.lpm import LpmTrie
+from repro.net.packet import IcmpEcho, IcmpEchoReply, Packet
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Prefix",
+    "IPv6Address",
+    "IPv6Prefix",
+    "LpmTrie",
+    "Packet",
+    "IcmpEcho",
+    "IcmpEchoReply",
+]

@@ -1,0 +1,166 @@
+"""Longest-prefix-match trie.
+
+A binary (one bit per level) trie mapping prefixes to arbitrary values.
+Used as the backing store for router FIBs: forwarding a packet is one
+:meth:`LpmTrie.lookup` per hop, so lookup walks at most ``bits`` nodes
+and remembers the deepest match.
+
+The trie is address-family generic: ``bits=32`` (the default) stores
+:class:`~repro.net.addr.IPv4Prefix` keys, ``bits=128`` stores
+:class:`~repro.net.addr.IPv6Prefix` keys. Mixing families in one trie is
+rejected, as real FIBs keep separate v4/v6 tables.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Protocol, TypeVar
+
+from repro.net.addr import IPv4Prefix, IPv6Prefix
+
+V = TypeVar("V")
+
+
+class _AddressLike(Protocol):
+    value: int
+
+    @property
+    def bits(self) -> int: ...
+
+
+class _PrefixLike(Protocol):
+    network: int
+    length: int
+
+    @property
+    def bits(self) -> int: ...
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[_Node[V] | None] = [None, None]
+        self.value: V | None = None
+        self.has_value = False
+
+
+class LpmTrie(Generic[V]):
+    """Binary trie with longest-prefix-match lookup.
+
+    >>> trie = LpmTrie()
+    >>> trie.insert(IPv4Prefix.parse("10.0.0.0/8"), "coarse")
+    >>> trie.insert(IPv4Prefix.parse("10.1.0.0/16"), "fine")
+    >>> trie.lookup(IPv4Address.parse("10.1.2.3"))
+    (IPv4Prefix('10.1.0.0/16'), 'fine')
+    """
+
+    def __init__(self, bits: int = 32) -> None:
+        if bits not in (32, 128):
+            raise ValueError(f"bits must be 32 or 128, got {bits}")
+        self._bits = bits
+        self._prefix_type = IPv4Prefix if bits == 32 else IPv6Prefix
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: _PrefixLike) -> bool:
+        return self.get(prefix) is not None or self._has_exact(prefix)
+
+    def _check_family(self, bits: int) -> None:
+        if bits != self._bits:
+            raise ValueError(
+                f"address family mismatch: trie is {self._bits}-bit, key is {bits}-bit"
+            )
+
+    def _walk(self, prefix: _PrefixLike, create: bool) -> _Node[V] | None:
+        node = self._root
+        top = self._bits - 1
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (top - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                if not create:
+                    return None
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        return node
+
+    def _has_exact(self, prefix: _PrefixLike) -> bool:
+        self._check_family(prefix.bits)
+        node = self._walk(prefix, create=False)
+        return node is not None and node.has_value
+
+    def insert(self, prefix: _PrefixLike, value: V) -> None:
+        """Insert or replace the value at ``prefix``."""
+        self._check_family(prefix.bits)
+        node = self._walk(prefix, create=True)
+        assert node is not None
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: _PrefixLike) -> bool:
+        """Remove ``prefix``; returns True if it was present."""
+        self._check_family(prefix.bits)
+        node = self._walk(prefix, create=False)
+        if node is None or not node.has_value:
+            return False
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        return True
+
+    def get(self, prefix: _PrefixLike) -> V | None:
+        """Exact-match lookup (no LPM)."""
+        self._check_family(prefix.bits)
+        node = self._walk(prefix, create=False)
+        if node is None or not node.has_value:
+            return None
+        return node.value
+
+    def lookup(self, address: _AddressLike) -> tuple[_PrefixLike, V] | None:
+        """Longest-prefix match for ``address``; None if nothing matches."""
+        self._check_family(address.bits)
+        node = self._root
+        best: tuple[_PrefixLike, V] | None = None
+        if node.has_value:
+            best = (self._prefix_type(0, 0), node.value)  # type: ignore[arg-type]
+        value = address.value
+        network = 0
+        top = self._bits - 1
+        for depth in range(self._bits):
+            bit = (value >> (top - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            network |= bit << (top - depth)
+            node = child
+            if node.has_value:
+                best = (self._prefix_type(network, depth + 1), node.value)  # type: ignore[arg-type]
+        return best
+
+    def items(self) -> Iterator[tuple[_PrefixLike, V]]:
+        """Iterate all (prefix, value) pairs in depth-first order."""
+        top = self._bits - 1
+        stack: list[tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, network, depth = stack.pop()
+            if node.has_value:
+                yield self._prefix_type(network, depth), node.value  # type: ignore[misc]
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, network | (bit << (top - depth)), depth + 1))
+
+    def clear(self) -> None:
+        """Remove all entries."""
+        self._root = _Node()
+        self._size = 0

@@ -1,0 +1,50 @@
+"""Packet dataclasses for the simulated data plane.
+
+Only what the paper's probing needs: ICMP echo requests/replies with
+sequence numbers (the experiment in §5.2 matches each reply to its request
+via a unique sequence number) plus a generic payload slot used to carry the
+opt-out notice required by §5.3's ethics discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.addr import IPv4Address
+
+#: Payload carried in every probe, mirroring the ethics practice in §5.3.
+OPT_OUT_NOTICE = "measurement experiment; see https://example.invalid/optout"
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """A generic IP packet with source/destination and an opaque payload."""
+
+    src: IPv4Address
+    dst: IPv4Address
+    payload: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class IcmpEcho(Packet):
+    """ICMP echo request with a unique sequence number."""
+
+    seq: int = 0
+    payload: str = field(default=OPT_OUT_NOTICE)
+
+    def reply_from(self, responder: IPv4Address) -> IcmpEchoReply:
+        """Build the echo reply a target at ``responder`` would send.
+
+        The reply is addressed to the request's *source* address, which is
+        how §5.2 steers replies toward the prefix under test (requests are
+        sourced from 184.164.244.10 so replies route to the current site's
+        prefix).
+        """
+        return IcmpEchoReply(src=responder, dst=self.src, seq=self.seq)
+
+
+@dataclass(frozen=True, slots=True)
+class IcmpEchoReply(Packet):
+    """ICMP echo reply carrying the request's sequence number."""
+
+    seq: int = 0

@@ -1,0 +1,29 @@
+"""Internet-like topologies and the emulated CDN deployment.
+
+The paper runs on the real Internet via the PEERING testbed. This package
+replaces that substrate: a seeded generator builds a hierarchical AS
+topology (tier-1 clique, transit tiers, eyeball stubs, an R&E hierarchy,
+and hypergiants), a geography model provides RTTs for the paper's 50 ms
+proximity filter, and :class:`~repro.topology.testbed.CdnDeployment`
+attaches the eight PEERING-like sites to it.
+"""
+
+from repro.topology.geo import Region, REGIONS, rtt_ms
+from repro.topology.relationships import AsClass, AsInfo, RelationshipDataset
+from repro.topology.generator import Topology, TopologyParams, generate_topology
+from repro.topology.testbed import CdnDeployment, SiteSpec, build_deployment
+
+__all__ = [
+    "Region",
+    "REGIONS",
+    "rtt_ms",
+    "AsClass",
+    "AsInfo",
+    "RelationshipDataset",
+    "Topology",
+    "TopologyParams",
+    "generate_topology",
+    "CdnDeployment",
+    "SiteSpec",
+    "build_deployment",
+]

@@ -1,0 +1,66 @@
+"""Shared fixtures.
+
+Heavy artefacts (the default topology, deployments, catchments) are
+session-scoped: they are deterministic for a fixed seed, and many test
+modules only read them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.network import BgpNetwork
+from repro.bgp.session import SessionTiming
+from repro.topology.generator import TopologyParams, generate_topology
+from repro.topology.testbed import build_deployment
+
+
+#: Timing with no pacing and negligible jitter: logic tests that assert
+#: routing outcomes (not timing) converge in a handful of simulated
+#: seconds with this.
+FAST_TIMING = SessionTiming(latency=0.01, jitter=0.0, mrai=0.0, busy_prob=0.0)
+
+#: A small but structurally complete topology for integration tests.
+SMALL_PARAMS = TopologyParams(
+    seed=7,
+    n_tier1=4,
+    n_transit_per_region=2,
+    n_regional_per_region=1,
+    n_eyeball_per_region=6,
+    n_stub_per_region=1,
+    n_university_per_region=2,
+    n_re_backbone=2,
+    n_hypergiant=2,
+    transit_providers=2,
+)
+
+
+@pytest.fixture(scope="session")
+def small_topology():
+    return generate_topology(SMALL_PARAMS)
+
+
+@pytest.fixture(scope="session")
+def deployment():
+    """Default-size deployment with the eight paper sites."""
+    return build_deployment()
+
+
+@pytest.fixture(scope="session")
+def topology(deployment):
+    return deployment.topology
+
+
+@pytest.fixture()
+def fast_timing():
+    return FAST_TIMING
+
+
+def build_line_network(n: int, seed: int = 0, timing: SessionTiming | None = None) -> BgpNetwork:
+    """A provider chain r0 <- r1 <- ... (r_{i+1} is r_i's provider)."""
+    net = BgpNetwork(seed=seed, default_timing=timing or FAST_TIMING)
+    for i in range(n):
+        net.add_router(f"r{i}", 100 + i)
+    for i in range(n - 1):
+        net.add_provider(f"r{i}", f"r{i + 1}")
+    return net

@@ -1,0 +1,114 @@
+"""Unit tests for route collectors."""
+
+import pytest
+
+from repro.bgp.collector import RouteCollector
+from repro.net.addr import IPv4Prefix
+
+from tests.conftest import build_line_network
+
+PFX = IPv4Prefix.parse("184.164.244.0/24")
+
+
+def collector_on_line(n=4, peers=("r1", "r2", "r3")):
+    net = build_line_network(n)
+    coll = RouteCollector("ris", net)
+    for peer in peers:
+        coll.attach(peer)
+    return net, coll
+
+
+class TestCollector:
+    def test_records_announcements(self):
+        net, coll = collector_on_line()
+        net.announce("r0", PFX)
+        net.converge()
+        announcing_peers = {e.peer for e in coll.entries if e.announce}
+        assert announcing_peers == {"r1", "r2", "r3"}
+
+    def test_records_withdrawals(self):
+        net, coll = collector_on_line()
+        net.announce("r0", PFX)
+        net.converge()
+        net.withdraw("r0", PFX)
+        net.converge()
+        withdrawing = {e.peer for e in coll.entries if not e.announce}
+        assert withdrawing == {"r1", "r2", "r3"}
+
+    def test_entries_carry_as_paths(self):
+        net, coll = collector_on_line()
+        net.announce("r0", PFX)
+        net.converge()
+        for entry in coll.entries:
+            if entry.announce:
+                assert entry.as_path[-1] == 100  # origin ASN
+
+    def test_timestamps_monotone_per_peer(self):
+        net, coll = collector_on_line()
+        net.announce("r0", PFX)
+        net.converge()
+        net.withdraw("r0", PFX)
+        net.converge()
+        for peer in coll.peers:
+            times = [e.time for e in coll.entries if e.peer == peer]
+            assert times == sorted(times)
+
+    def test_visibility_lifecycle(self):
+        net, coll = collector_on_line()
+        assert coll.visibility(PFX, net.now) == 0.0
+        net.announce("r0", PFX)
+        net.converge()
+        assert coll.visibility(PFX, net.now) == 1.0
+        net.withdraw("r0", PFX)
+        net.converge()
+        assert coll.visibility(PFX, net.now) == 0.0
+
+    def test_visibility_at_earlier_time(self):
+        net, coll = collector_on_line()
+        net.announce("r0", PFX)
+        net.converge()
+        announced_at = net.now
+        net.withdraw("r0", PFX)
+        net.converge()
+        assert coll.visibility(PFX, announced_at) == 1.0
+
+    def test_peers_with_route(self):
+        net, coll = collector_on_line()
+        net.announce("r0", PFX)
+        net.converge()
+        assert coll.peers_with_route(PFX, net.now) == {"r1", "r2", "r3"}
+
+    def test_duplicate_attach_rejected(self):
+        net, coll = collector_on_line()
+        with pytest.raises(ValueError):
+            coll.attach("r1")
+
+    def test_attach_mid_experiment_gets_table_dump(self):
+        net = build_line_network(3)
+        net.announce("r0", PFX)
+        net.converge()
+        coll = RouteCollector("late", net)
+        coll.attach("r2")
+        net.converge()
+        assert coll.visibility(PFX, net.now) == 1.0
+
+    def test_clear(self):
+        net, coll = collector_on_line()
+        net.announce("r0", PFX)
+        net.converge()
+        coll.clear()
+        assert coll.entries == []
+        # peers stay attached after clear
+        assert coll.peers == ["r1", "r2", "r3"]
+
+    def test_updates_for_window(self):
+        net, coll = collector_on_line()
+        net.announce("r0", PFX)
+        net.converge()
+        t_mid = net.now
+        net.withdraw("r0", PFX)
+        net.converge()
+        early = coll.updates_for(PFX, until=t_mid)
+        late = coll.updates_for(PFX, since=t_mid)
+        assert all(e.announce for e in early)
+        assert any(not e.announce for e in late)

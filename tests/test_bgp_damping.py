@@ -1,0 +1,154 @@
+"""Tests for route flap damping (RFC 2439)."""
+
+import pytest
+
+from repro.bgp.damping import DampingConfig, RouteDamping
+from repro.bgp.engine import EventEngine
+from repro.bgp.network import BgpNetwork
+from repro.net.addr import IPv4Prefix
+
+from tests.conftest import FAST_TIMING
+
+PFX = IPv4Prefix.parse("184.164.244.0/24")
+
+#: Aggressive config so tests trigger suppression with few flaps and
+#: short sim times.
+FAST_DAMPING = DampingConfig(
+    penalty_per_flap=1000.0,
+    suppress_threshold=1500.0,
+    reuse_threshold=750.0,
+    half_life=30.0,
+    max_penalty=4000.0,
+)
+
+
+class TestDampingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DampingConfig(half_life=0.0)
+        with pytest.raises(ValueError):
+            DampingConfig(reuse_threshold=3000.0, suppress_threshold=2000.0)
+        with pytest.raises(ValueError):
+            DampingConfig(penalty_per_flap=0.0)
+
+
+class TestRouteDampingUnit:
+    def make(self):
+        engine = EventEngine()
+        released = []
+        damping = RouteDamping(engine, FAST_DAMPING, on_release=released.append)
+        return engine, damping, released
+
+    def test_single_flap_not_suppressed(self):
+        engine, damping, _ = self.make()
+        damping.record_flap(PFX, "n1")
+        assert not damping.is_suppressed(PFX, "n1")
+        assert damping.penalty(PFX, "n1") == pytest.approx(1000.0)
+
+    def test_second_flap_suppresses(self):
+        engine, damping, _ = self.make()
+        damping.record_flap(PFX, "n1")
+        damping.record_flap(PFX, "n1")
+        assert damping.is_suppressed(PFX, "n1")
+        assert damping.suppressions == 1
+
+    def test_penalty_decays(self):
+        engine, damping, _ = self.make()
+        damping.record_flap(PFX, "n1")
+        engine.schedule(30.0, lambda: None)
+        engine.run_until_idle()
+        assert damping.penalty(PFX, "n1") == pytest.approx(500.0, rel=0.01)
+
+    def test_release_fires_after_decay(self):
+        engine, damping, released = self.make()
+        damping.record_flap(PFX, "n1")
+        damping.record_flap(PFX, "n1")
+        assert damping.is_suppressed(PFX, "n1")
+        engine.run_until_idle()
+        assert not damping.is_suppressed(PFX, "n1")
+        assert released == [PFX]
+        # penalty 2000 -> reuse 750 takes half_life*log2(2000/750) ~= 42s
+        assert 40.0 < engine.now < 50.0
+
+    def test_penalty_capped(self):
+        engine, damping, _ = self.make()
+        for _ in range(10):
+            damping.record_flap(PFX, "n1")
+        assert damping.penalty(PFX, "n1") <= FAST_DAMPING.max_penalty
+
+    def test_per_neighbor_isolation(self):
+        engine, damping, _ = self.make()
+        damping.record_flap(PFX, "n1")
+        damping.record_flap(PFX, "n1")
+        assert damping.suppressed_neighbors(PFX) == {"n1"}
+        assert not damping.is_suppressed(PFX, "n2")
+
+    def test_flaps_counted(self):
+        engine, damping, _ = self.make()
+        damping.record_flap(PFX, "n1")
+        damping.record_flap(PFX, "n2")
+        assert damping.flaps == 2
+
+
+class TestDampingInNetwork:
+    def flapping_network(self) -> BgpNetwork:
+        net = BgpNetwork(seed=0, default_timing=FAST_TIMING, damping=FAST_DAMPING)
+        net.add_router("origin", 1)
+        net.add_router("mid", 2)
+        net.add_router("edge", 3)
+        net.add_provider("origin", "mid")
+        net.add_provider("edge", "mid")
+        return net
+
+    def test_initial_announcement_is_not_a_flap(self):
+        net = self.flapping_network()
+        net.announce("origin", PFX)
+        net.converge()
+        assert net.router("mid").damping.flaps == 0
+        assert net.router("edge").best_route(PFX) is not None
+
+    def flap_quickly(self, net, rounds=3):
+        """Announce/withdraw in rapid succession, keeping sim time short
+        so release timers don't drain between flaps."""
+        for _ in range(rounds):
+            net.announce("origin", PFX)
+            net.run_for(0.5)
+            net.withdraw("origin", PFX)
+            net.run_for(0.5)
+
+    def test_flapping_origin_gets_suppressed(self):
+        net = self.flapping_network()
+        self.flap_quickly(net)
+        mid = net.router("mid")
+        assert mid.damping.flaps >= 3
+        assert mid.damping.suppressions >= 1
+        # Re-announce: the suppressed route is ignored by the decision
+        # process even though it sits in the Adj-RIB-In.
+        net.announce("origin", PFX)
+        net.run_for(1.0)
+        assert mid.adj_rib_in.route_from(PFX, "origin") is not None
+        assert mid.best_route(PFX) is None
+
+    def test_suppressed_route_released_after_decay(self):
+        net = self.flapping_network()
+        self.flap_quickly(net)
+        net.announce("origin", PFX)
+        net.converge()  # runs the release timers dry
+        assert net.router("mid").best_route(PFX) is not None
+        assert net.router("edge").best_route(PFX) is not None
+
+    def test_stable_prefix_unaffected(self):
+        """Damping must be invisible for well-behaved announcements."""
+        net = self.flapping_network()
+        net.announce("origin", PFX)
+        net.converge()
+        net.run_for(100.0)
+        assert net.router("edge").best_route(PFX) is not None
+        assert net.router("mid").damping.suppressions == 0
+
+    def test_topology_build_network_passthrough(self, small_topology):
+        network = small_topology.build_network(
+            seed=1, timing=FAST_TIMING, damping=FAST_DAMPING
+        )
+        some_router = network.router(network.nodes()[0])
+        assert some_router.damping is not None

@@ -1,0 +1,101 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.bgp.engine import EventEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_runs_in_insertion_order(self):
+        engine = EventEngine()
+        order = []
+        for tag in "abc":
+            engine.schedule(1.0, lambda t=tag: order.append(t))
+        engine.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventEngine().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = EventEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run_until_idle()
+        assert engine.now == 5.0
+        with pytest.raises(ValueError):
+            engine.schedule_at(4.0, lambda: None)
+
+    def test_clock_advances_to_event_time(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(2.5, lambda: seen.append(engine.now))
+        engine.run_until_idle()
+        assert seen == [2.5]
+
+    def test_nested_scheduling(self):
+        engine = EventEngine()
+        times = []
+
+        def first():
+            times.append(engine.now)
+            engine.schedule(1.0, lambda: times.append(engine.now))
+
+        engine.schedule(1.0, first)
+        engine.run_until_idle()
+        assert times == [1.0, 2.0]
+
+
+class TestRunControl:
+    def test_run_until_stops_at_deadline(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(10.0, lambda: seen.append(10))
+        engine.run_until(5.0)
+        assert seen == [1]
+        assert engine.now == 5.0
+        assert engine.pending == 1
+
+    def test_run_until_inclusive_of_deadline(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(5.0, lambda: seen.append(5))
+        engine.run_until(5.0)
+        assert seen == [5]
+
+    def test_advance_relative(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run_until_idle()
+        engine.advance(4.0)
+        assert engine.now == 5.0
+
+    def test_step_returns_false_when_empty(self):
+        assert not EventEngine().step()
+
+    def test_run_until_idle_livelock_guard(self):
+        engine = EventEngine()
+
+        def respawn():
+            engine.schedule(1.0, respawn)
+
+        engine.schedule(1.0, respawn)
+        with pytest.raises(RuntimeError):
+            engine.run_until_idle(max_events=100)
+
+    def test_processed_counter(self):
+        engine = EventEngine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run_until_idle()
+        assert engine.processed == 5

@@ -1,0 +1,35 @@
+"""Unit tests for update messages."""
+
+from repro.bgp.messages import Announcement, Update, Withdrawal
+from repro.net.addr import IPv4Prefix
+
+PFX = IPv4Prefix.parse("184.164.244.0/24")
+
+
+class TestMessages:
+    def test_announcement_fields(self):
+        a = Announcement(sender="s", prefix=PFX, as_path=(1, 2), origin_node="o")
+        assert a.sender == "s"
+        assert a.as_path == (1, 2)
+        assert a.med == 0  # MED defaults to unset/zero
+
+    def test_announcement_with_med(self):
+        a = Announcement(sender="s", prefix=PFX, as_path=(1,), origin_node="o", med=70)
+        assert a.med == 70
+
+    def test_withdrawal_fields(self):
+        w = Withdrawal(sender="s", prefix=PFX)
+        assert w.prefix == PFX
+
+    def test_messages_hashable(self):
+        a1 = Announcement(sender="s", prefix=PFX, as_path=(1,), origin_node="o")
+        a2 = Announcement(sender="s", prefix=PFX, as_path=(1,), origin_node="o")
+        assert a1 == a2
+        assert len({a1, a2}) == 1
+
+    def test_update_union_covers_both(self):
+        updates: list[Update] = [
+            Announcement(sender="s", prefix=PFX, as_path=(1,), origin_node="o"),
+            Withdrawal(sender="s", prefix=PFX),
+        ]
+        assert all(u.prefix == PFX for u in updates)

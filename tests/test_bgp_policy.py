@@ -1,0 +1,67 @@
+"""Unit tests for Gao-Rexford policy functions."""
+
+import pytest
+
+from repro.bgp.policy import (
+    LOCAL_ORIGIN_PREF,
+    LOCAL_PREF,
+    Relationship,
+    import_local_pref,
+    should_export,
+)
+
+C, P, PR, COL = (
+    Relationship.CUSTOMER,
+    Relationship.PEER,
+    Relationship.PROVIDER,
+    Relationship.COLLECTOR,
+)
+
+
+class TestRelationship:
+    def test_inverse_customer_provider(self):
+        assert C.inverse() is PR
+        assert PR.inverse() is C
+
+    def test_inverse_symmetric_relations(self):
+        assert P.inverse() is P
+        assert COL.inverse() is COL
+
+
+class TestLocalPref:
+    def test_preference_ordering(self):
+        """Customer > peer > provider, with local origination on top."""
+        assert LOCAL_ORIGIN_PREF > LOCAL_PREF[C] > LOCAL_PREF[P] > LOCAL_PREF[PR]
+
+    def test_import_local_pref(self):
+        assert import_local_pref(C) == 300
+        assert import_local_pref(P) == 200
+        assert import_local_pref(PR) == 100
+
+    def test_collector_sessions_never_import(self):
+        with pytest.raises(ValueError):
+            import_local_pref(COL)
+
+
+class TestValleyFreeExport:
+    def test_local_routes_exported_everywhere(self):
+        for rel in (C, P, PR, COL):
+            assert should_export(None, rel)
+
+    def test_customer_routes_exported_everywhere(self):
+        for rel in (C, P, PR, COL):
+            assert should_export(C, rel)
+
+    def test_peer_routes_only_to_customers(self):
+        assert should_export(P, C)
+        assert not should_export(P, P)
+        assert not should_export(P, PR)
+
+    def test_provider_routes_only_to_customers(self):
+        assert should_export(PR, C)
+        assert not should_export(PR, P)
+        assert not should_export(PR, PR)
+
+    def test_collectors_get_everything(self):
+        for learned in (None, C, P, PR):
+            assert should_export(learned, COL)

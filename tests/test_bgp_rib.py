@@ -1,0 +1,102 @@
+"""Unit tests for Adj-RIB-In / Loc-RIB and the per-prefix decision."""
+
+from repro.bgp.policy import LOCAL_ORIGIN_PREF
+from repro.bgp.rib import AdjRibIn, LocRib, decide
+from repro.bgp.route import Route
+from repro.net.addr import IPv4Prefix
+
+PFX = IPv4Prefix.parse("184.164.244.0/24")
+PFX2 = IPv4Prefix.parse("184.164.245.0/24")
+
+
+def route(neighbor: str, pref: int = 200, path=(1,)) -> Route:
+    return Route(PFX, tuple(path), neighbor, pref, origin_node="o")
+
+
+class TestAdjRibIn:
+    def test_update_and_candidates(self):
+        rib = AdjRibIn()
+        rib.update(PFX, "a", route("a"))
+        rib.update(PFX, "b", route("b"))
+        assert {r.learned_from for r in rib.candidates(PFX)} == {"a", "b"}
+
+    def test_update_replaces_previous_advertisement(self):
+        rib = AdjRibIn()
+        rib.update(PFX, "a", route("a", path=(1,)))
+        rib.update(PFX, "a", route("a", path=(1, 2)))
+        assert len(rib.candidates(PFX)) == 1
+        assert rib.route_from(PFX, "a").as_path == (1, 2)
+
+    def test_withdraw(self):
+        rib = AdjRibIn()
+        rib.update(PFX, "a", route("a"))
+        assert rib.withdraw(PFX, "a")
+        assert rib.candidates(PFX) == []
+        assert not rib.withdraw(PFX, "a")
+
+    def test_withdraw_unknown_prefix(self):
+        assert not AdjRibIn().withdraw(PFX, "a")
+
+    def test_prefixes(self):
+        rib = AdjRibIn()
+        rib.update(PFX, "a", route("a"))
+        assert rib.prefixes() == [PFX]
+        rib.withdraw(PFX, "a")
+        assert rib.prefixes() == []
+
+    def test_drop_neighbor(self):
+        rib = AdjRibIn()
+        rib.update(PFX, "a", route("a"))
+        rib.update(PFX2, "a", Route(PFX2, (1,), "a", 200, "o"))
+        rib.update(PFX, "b", route("b"))
+        affected = rib.drop_neighbor("a")
+        assert set(affected) == {PFX, PFX2}
+        assert {r.learned_from for r in rib.candidates(PFX)} == {"b"}
+
+    def test_stale_routes_remain_until_withdrawn(self):
+        """The invariant path hunting depends on: nothing expires
+        implicitly; only explicit withdrawals remove alternates."""
+        rib = AdjRibIn()
+        rib.update(PFX, "a", route("a"))
+        rib.update(PFX, "b", route("b"))
+        rib.withdraw(PFX, "a")
+        assert [r.learned_from for r in rib.candidates(PFX)] == ["b"]
+
+
+class TestLocRib:
+    def test_set_get(self):
+        loc = LocRib()
+        r = route("a")
+        loc.set(PFX, r)
+        assert loc.get(PFX) == r
+        assert len(loc) == 1
+
+    def test_set_none_removes(self):
+        loc = LocRib()
+        loc.set(PFX, route("a"))
+        loc.set(PFX, None)
+        assert loc.get(PFX) is None
+        assert len(loc) == 0
+
+    def test_items(self):
+        loc = LocRib()
+        r = route("a")
+        loc.set(PFX, r)
+        assert loc.items() == [(PFX, r)]
+
+
+class TestDecide:
+    def test_local_route_always_wins(self):
+        rib = AdjRibIn()
+        rib.update(PFX, "a", route("a", pref=300))
+        local = Route(PFX, (), None, LOCAL_ORIGIN_PREF, "self")
+        assert decide(PFX, rib, local) == local
+
+    def test_without_local_route(self):
+        rib = AdjRibIn()
+        rib.update(PFX, "a", route("a", pref=100))
+        rib.update(PFX, "b", route("b", pref=300))
+        assert decide(PFX, rib, None).learned_from == "b"
+
+    def test_empty(self):
+        assert decide(PFX, AdjRibIn(), None) is None

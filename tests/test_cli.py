@@ -1,0 +1,155 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("topology", "failover", "compare", "control", "appendix", "drill"):
+            args = parser.parse_args(
+                [command, "withdrawal"] if command == "appendix" else [command]
+            )
+            assert callable(args.func)
+
+    def test_seed_is_global(self):
+        args = build_parser().parse_args(["--seed", "7", "topology"])
+        assert args.seed == 7
+
+    def test_failover_defaults(self):
+        args = build_parser().parse_args(["failover"])
+        assert args.technique == "reactive-anycast"
+        assert args.site == "sea1"
+        assert not args.silent
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["failover", "-t", "quantum"])
+
+
+class TestCommands:
+    def test_topology_summary(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "ASes:" in out
+        assert "sites: ams, ath" in out
+
+    def test_topology_sites_flag(self, capsys):
+        assert main(["topology", "--sites"]) == 0
+        out = capsys.readouterr().out
+        assert "region=us-west" in out
+
+    def test_failover_small_run(self, capsys):
+        code = main([
+            "failover", "-t", "anycast", "-s", "msn",
+            "--targets", "5", "--duration", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reconnection:" in out
+        assert "failover:" in out
+
+    def test_failover_unknown_site(self, capsys):
+        code = main(["failover", "-s", "lhr", "--targets", "3", "--duration", "30"])
+        assert code == 2
+
+    def test_drill_passes(self, capsys):
+        code = main(["drill", "-t", "reactive-anycast", "--clients", "5"])
+        assert code == 0
+        assert "all sites pass" in capsys.readouterr().out
+
+    def test_drill_unicast_fails(self, capsys):
+        code = main(["drill", "-t", "unicast", "--clients", "5"])
+        assert code == 1
+        assert "FAILURES" in capsys.readouterr().out
+
+
+class TestExtendedCommands:
+    def test_scenario_event_parsing(self):
+        from repro.cli.scenario import _parse_event
+
+        assert _parse_event("fail:sea1@60") == ("fail", "sea1", 60.0)
+        assert _parse_event("recover:msn@200.5") == ("recover", "msn", 200.5)
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_event("fail:sea1")
+
+    def test_scenario_command(self, capsys):
+        code = main([
+            "scenario", "-t", "anycast", "-s", "msn",
+            "-e", "fail:msn@30", "--duration", "90",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "downtime" in out
+
+    def test_scenario_unknown_site(self, capsys):
+        assert main(["scenario", "-s", "lhr", "--duration", "30"]) == 2
+
+    def test_playbook_drain(self, capsys):
+        code = main(["playbook", "--drain", "ams", "--levels", "0", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best drain play for ams" in out
+
+    def test_playbook_unknown_site(self, capsys):
+        assert main(["playbook", "--drain", "lhr", "--levels", "0", "3"]) == 2
+
+    def test_control_command(self, capsys):
+        code = main(["control", "--prepends", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "not-by-anycast" in out
+        assert "sea1" in out
+
+    def test_appendix_propagation(self, capsys):
+        code = main(["appendix", "propagation"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hypergiants" in out
+        assert "testbed" in out
+
+    def test_configgen_to_dir(self, capsys, tmp_path):
+        code = main([
+            "configgen", "-t", "reactive-anycast",
+            "--specific-site", "sea1", "-o", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "sea1.conf").exists()
+        assert (tmp_path / "ams.emergency.conf").exists()
+        text = (tmp_path / "ams.emergency.conf").read_text()
+        assert "184.164.244.0/24" in text
+
+    def test_configgen_stdout_single_site(self, capsys):
+        code = main(["configgen", "-t", "proactive-prepending", "--site", "ams"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bgp_path.prepend(47065);" in out
+
+    def test_configgen_unknown_site(self, capsys):
+        assert main(["configgen", "--site", "lhr"]) == 2
+
+    def test_compare_small(self, capsys):
+        code = main([
+            "compare", "--sites", "msn", "--targets", "4", "--duration", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "proactive-superprefix" in out
+        assert "failover time CDF" in out
+
+    def test_failover_silent_flag(self, capsys):
+        code = main([
+            "failover", "-t", "anycast", "-s", "msn", "--silent",
+            "--targets", "4", "--duration", "60", "--detection-delay", "5",
+        ])
+        assert code == 0
+        assert "silent failure" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""End-to-end tests of the §5.2 failover experiment (small scale)."""
+
+import pytest
+
+from repro.bgp.session import SessionTiming
+from repro.core.experiment import FailoverConfig, FailoverExperiment, pooled_outcomes
+from repro.core.techniques import (
+    Anycast,
+    ProactivePrepending,
+    ProactiveSuperprefix,
+    ReactiveAnycast,
+)
+from repro.measurement.stats import Cdf
+
+#: Mild pacing: enough dynamics to order the techniques, fast to run.
+TEST_TIMING = SessionTiming(latency=0.05, jitter=0.5, mrai=10.0, busy_prob=0.3, fib_delay=1.0)
+
+
+@pytest.fixture(scope="module")
+def experiment(deployment):
+    config = FailoverConfig(
+        probe_duration=150.0,
+        targets_per_site=10,
+        timing=TEST_TIMING,
+        seed=13,
+    )
+    return FailoverExperiment(deployment.topology, deployment, config)
+
+
+class TestSelections:
+    def test_beyond_anycast_mode_excludes_catchment(self, experiment):
+        selection = experiment.selection_for("msn", mode="beyond-anycast")
+        for node in selection.targets.values():
+            assert experiment.catchment.get(node) != "msn"
+
+    def test_anycast_mode_keeps_only_catchment(self, experiment):
+        selection = experiment.selection_for("msn", mode="anycast-catchment")
+        for node in selection.targets.values():
+            assert experiment.catchment.get(node) == "msn"
+
+    def test_unknown_mode_rejected(self, experiment):
+        with pytest.raises(ValueError):
+            experiment.selection_for("msn", mode="bogus")
+
+    def test_selection_cached(self, experiment):
+        assert experiment.selection_for("msn") is experiment.selection_for("msn")
+
+
+class TestSingleRun:
+    def test_reactive_anycast_run(self, experiment):
+        result = experiment.run_site(ReactiveAnycast(), "msn")
+        assert result.technique == "reactive-anycast"
+        assert result.site == "msn"
+        # Unicast-grade control: every selected target is controllable.
+        assert result.controllable_frac == 1.0
+        assert result.outcomes
+        # Everything should stabilize within the window at this scale.
+        for outcome in result.outcomes:
+            assert outcome.reconnection_s is not None
+            assert outcome.final_site != "msn"
+
+    def test_anycast_controllable_subset(self, experiment):
+        result = experiment.run_site(Anycast(), "msn")
+        # anycast-catchment selection: reachability check keeps them all.
+        assert result.controllable_frac > 0.9
+
+    def test_superprefix_slower_than_reactive(self, experiment):
+        """The §3 vs §4 headline at test scale: path hunting makes the
+        superprefix failover strictly slower in the median."""
+        reactive = experiment.run_site(ReactiveAnycast(), "msn")
+        superprefix = experiment.run_site(ProactiveSuperprefix(), "msn")
+        fo_reactive = Cdf.from_optional([o.failover_s for o in reactive.outcomes])
+        fo_super = Cdf.from_optional([o.failover_s for o in superprefix.outcomes])
+        assert fo_super.median() > fo_reactive.median()
+
+    def test_outcomes_reference_failed_site(self, experiment):
+        result = experiment.run_site(ReactiveAnycast(), "msn")
+        assert all(o.failed_site == "msn" for o in result.outcomes)
+
+    def test_deterministic_rerun(self, experiment):
+        r1 = experiment.run_site(Anycast(), "slc")
+        r2 = experiment.run_site(Anycast(), "slc")
+        assert [o.failover_s for o in r1.outcomes] == [o.failover_s for o in r2.outcomes]
+
+    def test_prepending_targets_stabilize_elsewhere(self, experiment):
+        result = experiment.run_site(ProactivePrepending(3), "ath")
+        assert result.outcomes
+        for outcome in result.outcomes:
+            if outcome.final_site is not None:
+                assert outcome.final_site != "ath"
+
+
+class TestSweep:
+    def test_run_all_sites_pools(self, experiment):
+        results = experiment.run_all_sites(ReactiveAnycast(), sites=["msn", "slc"])
+        pooled = pooled_outcomes(results)
+        assert len(pooled) == sum(len(r.outcomes) for r in results)
+        assert {o.failed_site for o in pooled} == {"msn", "slc"}

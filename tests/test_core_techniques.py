@@ -1,0 +1,168 @@
+"""Tests for the Figure-1 announcement behaviour of each technique."""
+
+import pytest
+
+from repro.core.techniques import (
+    TECHNIQUES,
+    Anycast,
+    Combined,
+    ProactivePrepending,
+    ProactiveSuperprefix,
+    ReactiveAnycast,
+    Technique,
+    Unicast,
+    technique_by_name,
+)
+from repro.topology.testbed import SECOND_PREFIX, SPECIFIC_PREFIX, SUPERPREFIX, build_deployment
+
+from tests.conftest import FAST_TIMING
+
+
+@pytest.fixture()
+def setup(deployment):
+    net = deployment.topology.build_network(seed=2, timing=FAST_TIMING)
+    return deployment, net
+
+
+def originated(net, deployment, site):
+    return set(net.router(deployment.site_node(site)).originated_prefixes())
+
+
+def deploy(technique: Technique, deployment, net, site="sea1"):
+    technique.announce_normal(net, deployment, site, SPECIFIC_PREFIX, SUPERPREFIX)
+    net.converge()
+
+
+class TestNormalOperationAnnouncements:
+    """Each row of Figure 1, 'before specific site fails' column."""
+
+    def test_unicast(self, setup):
+        dep, net = setup
+        deploy(Unicast(), dep, net)
+        assert originated(net, dep, "sea1") == {SPECIFIC_PREFIX}
+        assert originated(net, dep, "ams") == set()
+
+    def test_anycast(self, setup):
+        dep, net = setup
+        deploy(Anycast(), dep, net)
+        for site in dep.site_names:
+            assert originated(net, dep, site) == {SPECIFIC_PREFIX}
+
+    def test_proactive_superprefix(self, setup):
+        dep, net = setup
+        deploy(ProactiveSuperprefix(), dep, net)
+        assert originated(net, dep, "sea1") == {SPECIFIC_PREFIX, SUPERPREFIX}
+        assert originated(net, dep, "ams") == {SUPERPREFIX}
+
+    def test_reactive_anycast_before_failure(self, setup):
+        dep, net = setup
+        deploy(ReactiveAnycast(), dep, net)
+        assert originated(net, dep, "sea1") == {SPECIFIC_PREFIX}
+        assert originated(net, dep, "ams") == set()
+
+    def test_proactive_prepending(self, setup):
+        dep, net = setup
+        deploy(ProactivePrepending(3), dep, net)
+        specific = net.router(dep.site_node("sea1"))
+        assert specific.origin_config(SPECIFIC_PREFIX).prepend == 0
+        other = net.router(dep.site_node("ams"))
+        assert other.origin_config(SPECIFIC_PREFIX).prepend == 3
+
+    def test_combined(self, setup):
+        dep, net = setup
+        deploy(Combined(), dep, net)
+        assert originated(net, dep, "sea1") == {SPECIFIC_PREFIX, SUPERPREFIX}
+        assert originated(net, dep, "ams") == {SUPERPREFIX}
+
+
+class TestFailureReactions:
+    """'After specific site fails' column of Figure 1."""
+
+    def run_failure(self, technique, dep, net, site="sea1"):
+        deploy(technique, dep, net, site)
+        net.withdraw_all(dep.site_node(site))
+        technique.on_failure(net, dep, site, SPECIFIC_PREFIX, SUPERPREFIX)
+        net.converge()
+
+    def test_reactive_anycast_announces_everywhere(self, setup):
+        dep, net = setup
+        self.run_failure(ReactiveAnycast(), dep, net)
+        assert originated(net, dep, "sea1") == set()
+        for site in dep.site_names:
+            if site != "sea1":
+                assert SPECIFIC_PREFIX in originated(net, dep, site)
+
+    def test_passive_techniques_do_nothing_new(self, setup):
+        dep, net = setup
+        for technique in (Unicast(), Anycast(), ProactiveSuperprefix(), ProactivePrepending(3)):
+            technique.on_failure(net, dep, "sea1", SPECIFIC_PREFIX, SUPERPREFIX)
+        assert originated(net, dep, "ams") == set()
+
+    def test_combined_announces_specific_after_failure(self, setup):
+        dep, net = setup
+        self.run_failure(Combined(), dep, net)
+        assert originated(net, dep, "ams") == {SUPERPREFIX, SPECIFIC_PREFIX}
+
+
+class TestPrependedScopeRestriction:
+    def test_restricted_announcement_scope(self, setup):
+        """With the §4 refinement on, other sites export the prepended
+        route only to neighbors shared with the specific site."""
+        dep, net = setup
+        technique = ProactivePrepending(3, restrict_to_shared_neighbors=True)
+        deploy(technique, dep, net, "sea1")
+        sea1_neighbors = set(net.neighbors(dep.site_node("sea1")))
+        for site in dep.site_names:
+            if site == "sea1":
+                continue
+            config = net.router(dep.site_node(site)).origin_config(SPECIFIC_PREFIX)
+            assert config.neighbors is not None
+            assert config.neighbors <= sea1_neighbors
+
+
+class TestTable2Attributes:
+    def test_tradeoff_matrix_matches_paper(self):
+        expected = {
+            "proactive-prepending": ("medium", "high", "low"),
+            "reactive-anycast": ("high", "high", "high"),
+            "proactive-superprefix": ("high", "medium", "low"),
+            "anycast": ("low", "high", "low"),
+            "unicast": ("high", "low", "low"),
+        }
+        for name, (control, availability, risk) in expected.items():
+            technique = technique_by_name(name)
+            assert technique.tradeoff.control == control, name
+            assert technique.tradeoff.availability == availability, name
+            assert technique.tradeoff.risk == risk, name
+
+    def test_full_control_flags(self):
+        assert Unicast().full_control
+        assert ReactiveAnycast().full_control
+        assert ProactiveSuperprefix().full_control
+        assert not Anycast().full_control
+        assert not ProactivePrepending(3).full_control
+
+    def test_anycast_selection_mode(self):
+        assert Anycast().selection_mode == "anycast-catchment"
+        assert Unicast().selection_mode == "beyond-anycast"
+
+
+class TestFactory:
+    def test_all_registered(self):
+        assert set(TECHNIQUES) == {
+            "unicast", "anycast", "proactive-superprefix",
+            "reactive-anycast", "proactive-prepending", "proactive-med",
+            "combined",
+        }
+
+    def test_by_name_with_kwargs(self):
+        technique = technique_by_name("proactive-prepending", prepend=5)
+        assert technique.name == "proactive-prepending-5"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            technique_by_name("dns-only")
+
+    def test_prepend_validation(self):
+        with pytest.raises(ValueError):
+            ProactivePrepending(0)

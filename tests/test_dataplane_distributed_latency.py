@@ -1,0 +1,84 @@
+"""Tests for distributed-network latency semantics in the data plane."""
+
+import pytest
+
+from repro.dataplane.forwarding import ForwardingPlane
+from repro.net.packet import Packet
+from repro.topology.testbed import PROBE_SOURCE, SPECIFIC_PREFIX, build_deployment
+
+from tests.conftest import FAST_TIMING
+
+
+@pytest.fixture(scope="module")
+def converged_plane():
+    deployment = build_deployment()
+    network = deployment.topology.build_network(seed=17, timing=FAST_TIMING)
+    network.announce(deployment.site_node("ath"), SPECIFIC_PREFIX)
+    network.converge()
+    return deployment, network, ForwardingPlane(network, deployment.topology)
+
+
+class TestLastConcrete:
+    def test_concrete_only_path(self, converged_plane):
+        deployment, network, plane = converged_plane
+        assert plane._last_concrete(("eye-us-west-0", "tr-us-west-0")) == "tr-us-west-0"
+
+    def test_distributed_tail_skipped(self, converged_plane):
+        deployment, network, plane = converged_plane
+        # tier-1 (t1-0) and R&E (re-0) are distributed: the last concrete
+        # node is the transit before them.
+        path = ("eye-us-west-0", "tr-us-west-0", "t1-0", "re-0")
+        assert plane._last_concrete(path) == "tr-us-west-0"
+
+    def test_all_distributed_falls_back_to_origin(self, converged_plane):
+        deployment, network, plane = converged_plane
+        assert plane._last_concrete(("t1-0", "t1-1")) == "t1-0"
+
+
+class TestForwardingLatencyConsistency:
+    def test_event_forward_matches_path_latency(self, converged_plane):
+        """The event-driven reply forwarder must accumulate exactly the
+        topology's distributed-aware path latency (when routes are
+        stable)."""
+        deployment, network, plane = converged_plane
+        topology = deployment.topology
+        target = topology.web_client_ases()[0].node_id
+        snapshot = plane.snapshot_path(target, PROBE_SOURCE)
+        assert snapshot.delivered
+        expected = topology.path_latency(list(snapshot.path))
+
+        results = []
+        start = network.now
+        plane.forward(
+            target, Packet(src=PROBE_SOURCE, dst=PROBE_SOURCE), results.append
+        )
+        network.converge()
+        assert results[0].delivered
+        measured = results[0].completed_at - start
+        assert measured == pytest.approx(expected, rel=1e-6)
+
+    def test_regional_reply_is_fast(self, converged_plane):
+        """A eu-south client's reply to the eu-south site crosses only
+        regional links: single-digit milliseconds one way."""
+        deployment, network, plane = converged_plane
+        topology = deployment.topology
+        client = next(
+            info.node_id
+            for info in topology.web_client_ases()
+            if info.location.region == "eu-south"
+        )
+        path = plane.snapshot_path(client, PROBE_SOURCE)
+        assert path.delivered_to == deployment.site_node("ath")
+        assert topology.path_latency(list(path.path)) < 0.025
+
+    def test_transatlantic_reply_is_slow(self, converged_plane):
+        deployment, network, plane = converged_plane
+        topology = deployment.topology
+        client = next(
+            info.node_id
+            for info in topology.web_client_ases()
+            if info.location.region == "us-west"
+        )
+        path = plane.snapshot_path(client, PROBE_SOURCE)
+        assert path.delivered
+        assert topology.path_latency(list(path.path)) > 0.025

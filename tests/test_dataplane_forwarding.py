@@ -1,0 +1,133 @@
+"""Tests for FIB-driven forwarding (static and event-driven)."""
+
+import pytest
+
+from repro.bgp.network import BgpNetwork
+from repro.bgp.policy import Relationship
+from repro.dataplane.forwarding import DropReason, ForwardingPlane
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.packet import Packet
+from repro.topology.generator import Topology, TopologyParams
+from repro.topology.geo import Location
+from repro.topology.relationships import AsClass, AsInfo
+
+from tests.conftest import FAST_TIMING
+
+PFX = IPv4Prefix.parse("184.164.244.0/24")
+ADDR = IPv4Address.parse("184.164.244.10")
+
+
+def chain_topology(n: int = 4) -> Topology:
+    topo = Topology(params=TopologyParams())
+    loc = Location("us-west", 0.0, 0.0)
+    client = IPv4Prefix.parse("10.0.0.0/24")
+    for i in range(n):
+        topo.add_as(
+            AsInfo(
+                f"r{i}", 100 + i,
+                AsClass.EYEBALL if i == 0 else AsClass.TRANSIT,
+                loc,
+                prefix=client if i == 0 else None,
+                tags={"web-clients"} if i == 0 else set(),
+            )
+        )
+    for i in range(n - 1):
+        topo.link(f"r{i}", f"r{i + 1}", Relationship.PROVIDER)
+    return topo
+
+
+def make_plane(n: int = 4):
+    topo = chain_topology(n)
+    net = topo.build_network(seed=0, timing=FAST_TIMING)
+    return topo, net, ForwardingPlane(net, topo)
+
+
+class TestSnapshotPath:
+    def test_delivery_at_origin(self):
+        topo, net, plane = make_plane()
+        net.announce("r0", PFX)
+        net.converge()
+        result = plane.snapshot_path("r3", ADDR)
+        assert result.delivered
+        assert result.delivered_to == "r0"
+        assert result.path == ("r3", "r2", "r1", "r0")
+
+    def test_no_route(self):
+        topo, net, plane = make_plane()
+        result = plane.snapshot_path("r3", ADDR)
+        assert not result.delivered
+        assert result.drop_reason is DropReason.NO_ROUTE
+
+    def test_loop_detected(self):
+        topo, net, plane = make_plane(2)
+        # Manufacture a transient loop by hand-editing FIBs.
+        net.router("r0").fib.insert(PFX, "r1")
+        net.router("r1").fib.insert(PFX, "r0")
+        result = plane.snapshot_path("r0", ADDR)
+        assert not result.delivered
+        assert result.drop_reason is DropReason.LOOP
+
+
+class TestEventDrivenForward:
+    def test_delivery_consumes_latency(self):
+        topo, net, plane = make_plane()
+        net.announce("r0", PFX)
+        net.converge()
+        results = []
+        start = net.now
+        plane.forward("r3", Packet(src=ADDR, dst=ADDR), results.append)
+        net.converge()
+        assert len(results) == 1
+        assert results[0].delivered_to == "r0"
+        assert results[0].completed_at > start
+
+    def test_drop_on_no_route_records_diagnostics(self):
+        topo, net, plane = make_plane()
+        results = []
+        plane.forward("r3", Packet(src=ADDR, dst=ADDR), results.append)
+        net.converge()
+        assert not results[0].delivered
+        assert plane.drops
+
+    def test_packet_rerouted_mid_flight(self):
+        """A packet in flight follows whatever FIBs say at each hop: if
+        the route flips while it travels, the delivery point changes --
+        the §3 convergence phenomenon."""
+        topo = chain_topology(4)
+        net = topo.build_network(seed=0, timing=FAST_TIMING)
+        plane = ForwardingPlane(net, topo)
+        net.announce("r0", PFX)
+        net.converge()
+        results = []
+        plane.forward("r3", Packet(src=ADDR, dst=ADDR), results.append)
+        # Flip r1's FIB toward a local origin while the packet is at r2.
+        net.router("r1").fib.insert(PFX, "r1")
+        net.converge()
+        assert results[0].delivered_to == "r1"
+
+
+class TestClientDirection:
+    def test_owner_of(self):
+        topo, net, plane = make_plane()
+        assert plane.owner_of(IPv4Address.parse("10.0.0.1")) == "r0"
+        assert plane.owner_of(IPv4Address.parse("11.0.0.1")) is None
+
+    def test_latency_to_client(self):
+        topo, net, plane = make_plane()
+        latency = plane.latency_to_client("r3", "r0")
+        assert latency is not None
+        assert latency > 0
+
+    def test_latency_unreachable(self):
+        topo = chain_topology(2)
+        lonely = AsInfo("x", 999, AsClass.STUB, Location("us-west", 0, 0))
+        topo.add_as(lonely)
+        net = topo.build_network(seed=0, timing=FAST_TIMING)
+        plane = ForwardingPlane(net, topo)
+        assert plane.latency_to_client("r1", "x") is None
+
+    def test_static_routes_cached(self):
+        topo, net, plane = make_plane()
+        first = plane.static_routes_to("r0")
+        second = plane.static_routes_to("r0")
+        assert first is second

@@ -1,0 +1,206 @@
+"""Tests for the DNS subsystem: records, authoritative, resolver, client."""
+
+import random
+
+import pytest
+
+from repro.dns.authoritative import AuthoritativeServer, StaticMapping
+from repro.dns.client import ALLMAN_MEDIAN_OVERSTAY_S, DnsClient, TtlViolationModel
+from repro.dns.records import ARecord
+from repro.dns.resolver import RecursiveResolver
+from repro.net.addr import IPv4Address
+
+A1 = IPv4Address.parse("184.164.244.10")
+A2 = IPv4Address.parse("184.164.245.10")
+
+
+def make_auth(ttl=20.0) -> AuthoritativeServer:
+    return AuthoritativeServer(
+        "cdn.example",
+        StaticMapping(default_site="sea1"),
+        {"sea1": A1, "ams": A2},
+        ttl=ttl,
+    )
+
+
+class TestARecord:
+    def test_expiry(self):
+        record = ARecord("cdn.example", A1, ttl=20.0, issued_at=100.0)
+        assert record.expires_at == 120.0
+        assert record.fresh_at(119.9)
+        assert not record.fresh_at(120.1)
+
+    def test_reissued(self):
+        record = ARecord("cdn.example", A1, ttl=20.0, issued_at=0.0)
+        later = record.reissued(50.0)
+        assert later.issued_at == 50.0
+        assert later.address == A1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ARecord("x", A1, ttl=-1.0)
+        with pytest.raises(ValueError):
+            ARecord("", A1, ttl=1.0)
+
+
+class TestAuthoritative:
+    def test_query_returns_policy_site_address(self):
+        auth = make_auth()
+        answer = auth.query("cdn.example", "client-1", now=5.0)
+        assert answer.address == A1
+        assert answer.ttl == 20.0
+        assert answer.issued_at == 5.0
+
+    def test_out_of_zone_rejected(self):
+        with pytest.raises(KeyError):
+            make_auth().query("other.example", "c", now=0.0)
+
+    def test_subdomain_allowed(self):
+        answer = make_auth().query("www.cdn.example", "c", now=0.0)
+        assert answer.address == A1
+
+    def test_steering_one_client(self):
+        auth = make_auth()
+        policy = auth.policy
+        assert isinstance(policy, StaticMapping)
+        policy.steer("client-2", "ams")
+        assert auth.query("cdn.example", "client-2", 0.0).address == A2
+        assert auth.query("cdn.example", "client-1", 0.0).address == A1
+
+    def test_unknown_site_in_policy(self):
+        auth = make_auth()
+        auth.policy.steer("c", "lhr")
+        with pytest.raises(KeyError):
+            auth.query("cdn.example", "c", 0.0)
+
+    def test_remove_site_then_remap(self):
+        auth = make_auth()
+        auth.remove_site("sea1")
+        auth.policy.steer_all("ams")
+        assert auth.query("cdn.example", "c", 0.0).address == A2
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            make_auth(ttl=-5.0)
+
+
+class TestRecursiveResolver:
+    def test_cache_hit_within_ttl(self):
+        auth = make_auth(ttl=20.0)
+        resolver = RecursiveResolver("r1", auth)
+        resolver.resolve("cdn.example", "c", now=0.0)
+        resolver.resolve("cdn.example", "c", now=10.0)
+        assert auth.queries_served == 1
+        assert resolver.cache_hits == 1
+
+    def test_cache_expires(self):
+        auth = make_auth(ttl=20.0)
+        resolver = RecursiveResolver("r1", auth)
+        resolver.resolve("cdn.example", "c", now=0.0)
+        resolver.resolve("cdn.example", "c", now=21.0)
+        assert auth.queries_served == 2
+
+    def test_stale_answer_until_expiry(self):
+        """The §2 problem: after the CDN remaps, cached answers keep
+        flowing until TTL expiry."""
+        auth = make_auth(ttl=20.0)
+        resolver = RecursiveResolver("r1", auth)
+        assert resolver.resolve("cdn.example", "c", now=0.0).address == A1
+        auth.policy.steer_all("ams")
+        assert resolver.resolve("cdn.example", "c", now=10.0).address == A1
+        assert resolver.resolve("cdn.example", "c", now=25.0).address == A2
+
+    def test_remaining_ttl_decreases_on_hits(self):
+        resolver = RecursiveResolver("r1", make_auth(ttl=20.0))
+        resolver.resolve("cdn.example", "c", now=0.0)
+        answer = resolver.resolve("cdn.example", "c", now=15.0)
+        assert answer.ttl == pytest.approx(5.0)
+
+    def test_ttl_cap(self):
+        resolver = RecursiveResolver("r1", make_auth(ttl=600.0), ttl_cap=60.0)
+        resolver.resolve("cdn.example", "c", now=0.0)
+        assert resolver.cached_record("cdn.example").ttl == 60.0
+
+    def test_ttl_floor_violates_small_ttls(self):
+        resolver = RecursiveResolver("r1", make_auth(ttl=5.0), ttl_floor=60.0)
+        resolver.resolve("cdn.example", "c", now=0.0)
+        assert resolver.cached_record("cdn.example").ttl == 60.0
+
+    def test_floor_above_cap_rejected(self):
+        with pytest.raises(ValueError):
+            RecursiveResolver("r", make_auth(), ttl_cap=10.0, ttl_floor=20.0)
+
+    def test_flush(self):
+        auth = make_auth()
+        resolver = RecursiveResolver("r1", auth)
+        resolver.resolve("cdn.example", "c", now=0.0)
+        resolver.flush("cdn.example")
+        resolver.resolve("cdn.example", "c", now=1.0)
+        assert auth.queries_served == 2
+
+
+class TestTtlViolationModel:
+    def test_compliant_never_overstays(self):
+        model = TtlViolationModel.compliant()
+        rng = random.Random(0)
+        assert all(model.sample_overstay(rng) == 0.0 for _ in range(100))
+
+    def test_violation_rate(self):
+        model = TtlViolationModel(violation_prob=0.5)
+        rng = random.Random(1)
+        overstays = [model.sample_overstay(rng) for _ in range(400)]
+        violating = sum(1 for o in overstays if o > 0)
+        assert 140 < violating < 260
+
+    def test_median_overstay_roughly_allman(self):
+        """Violating lookups overstay ~890 s at the median (Allman 2020)."""
+        model = TtlViolationModel(violation_prob=1.0)
+        rng = random.Random(2)
+        overstays = sorted(model.sample_overstay(rng) for _ in range(999))
+        median = overstays[len(overstays) // 2]
+        assert 0.5 * ALLMAN_MEDIAN_OVERSTAY_S < median < 2.0 * ALLMAN_MEDIAN_OVERSTAY_S
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TtlViolationModel(violation_prob=2.0)
+        with pytest.raises(ValueError):
+            TtlViolationModel(median_overstay=-1.0)
+
+
+class TestDnsClient:
+    def test_client_caches_between_lookups(self):
+        auth = make_auth(ttl=20.0)
+        resolver = RecursiveResolver("r1", auth)
+        client = DnsClient("c", resolver)
+        client.lookup("cdn.example", now=0.0)
+        client.lookup("cdn.example", now=5.0)
+        assert client.resolutions == 1
+        assert client.lookups == 2
+
+    def test_compliant_client_switches_at_expiry(self):
+        auth = make_auth(ttl=20.0)
+        client = DnsClient("c", RecursiveResolver("r1", auth))
+        assert client.lookup("cdn.example", now=0.0) == A1
+        auth.policy.steer_all("ams")
+        assert client.lookup("cdn.example", now=30.0) == A2
+
+    def test_violating_client_overstays(self):
+        auth = make_auth(ttl=20.0)
+        model = TtlViolationModel(violation_prob=1.0, median_overstay=1000.0, sigma=0.0)
+        client = DnsClient("c", RecursiveResolver("r1", auth), model, rng=random.Random(0))
+        client.lookup("cdn.example", now=0.0)
+        auth.policy.steer_all("ams")
+        # TTL expired long ago, but the client clings to the old record.
+        assert client.lookup("cdn.example", now=500.0) == A1
+        assert client.lookup("cdn.example", now=1500.0) == A2
+
+    def test_switch_time_reports_usable_until(self):
+        auth = make_auth(ttl=20.0)
+        model = TtlViolationModel(violation_prob=1.0, median_overstay=100.0, sigma=0.0)
+        client = DnsClient("c", RecursiveResolver("r1", auth), model, rng=random.Random(0))
+        client.lookup("cdn.example", now=0.0)
+        assert client.switch_time("cdn.example", now=5.0) == pytest.approx(120.0)
+
+    def test_switch_time_without_record(self):
+        client = DnsClient("c", RecursiveResolver("r1", make_auth()))
+        assert client.switch_time("cdn.example", now=7.0) == 7.0

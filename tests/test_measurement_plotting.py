@@ -1,0 +1,60 @@
+"""Tests for the ASCII CDF renderer."""
+
+from repro.measurement.plotting import render_cdfs
+from repro.measurement.stats import Cdf
+
+
+class TestRenderCdfs:
+    def test_empty(self):
+        assert render_cdfs({}) == "(no data)"
+        assert render_cdfs({"x": Cdf([])}) == "(no data)"
+
+    def test_fully_censored(self):
+        out = render_cdfs({"x": Cdf([], censored=5)})
+        assert out == "(all samples censored)"
+
+    def test_contains_legend_and_axis(self):
+        out = render_cdfs({"anycast": Cdf([1.0, 2.0, 5.0])}, x_label="time (s)")
+        assert "o anycast" in out
+        assert "time (s)" in out
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = render_cdfs(
+            {"fast": Cdf([1.0, 2.0]), "slow": Cdf([50.0, 100.0])}
+        )
+        assert "o fast" in out
+        assert "x slow" in out
+        assert "o" in out and "x" in out
+
+    def test_faster_series_rises_left_of_slower(self):
+        out = render_cdfs(
+            {"fast": Cdf([1.0] * 10), "slow": Cdf([100.0] * 10)},
+            width=40, height=8,
+        )
+        rows = [line for line in out.splitlines() if "|" in line]
+        top_row = rows[0]
+        assert "o" in top_row
+        assert "x" in top_row
+        assert top_row.index("o") < top_row.index("x")
+
+    def test_censored_series_never_reaches_top(self):
+        out = render_cdfs({"c": Cdf([1.0], censored=9)}, width=30, height=10)
+        rows = [line for line in out.splitlines() if "|" in line]
+        # top rows (y near 1.0) must be empty of the glyph
+        assert "o" not in rows[0]
+        assert "o" not in rows[1]
+
+    def test_log_ticks_present(self):
+        out = render_cdfs({"s": Cdf([1.0, 10.0, 100.0])})
+        assert "10" in out
+        assert "100" in out
+
+    def test_linear_axis(self):
+        out = render_cdfs({"s": Cdf([1.0, 2.0, 3.0])}, log_x=False)
+        assert "o s" in out
+
+    def test_dimensions(self):
+        out = render_cdfs({"s": Cdf([1.0, 5.0])}, width=30, height=6)
+        rows = [line for line in out.splitlines() if "|" in line]
+        assert len(rows) == 6
+        assert all(len(line) <= 36 + 1 for line in rows)

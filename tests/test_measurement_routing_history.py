@@ -1,0 +1,128 @@
+"""Tests for the routing-history emulation (Appendices A & B pipelines)."""
+
+import pytest
+
+from repro.bgp.collector import RouteCollector
+from repro.measurement.routing_history import (
+    RoutingHistory,
+    covered_prefix_fraction,
+)
+from repro.net.addr import IPv4Prefix
+
+from tests.conftest import build_line_network
+
+PFX = IPv4Prefix.parse("151.96.0.0/20")
+
+#: Short "days" so simulated feeds span multiple aggregation buckets.
+DAY = 500.0
+
+
+def feed_with_lifecycle(seed=0):
+    """Announce on day 1, withdraw on day 3."""
+    net = build_line_network(6, seed=seed)
+    coll = RouteCollector("ris", net)
+    for i in range(1, 6):
+        coll.attach(f"r{i}")
+    net.run_for(DAY * 1.2)
+    net.announce("r0", PFX)
+    net.converge()
+    announce_time = net.now
+    net.run_for(DAY * 3.2 - net.now)
+    net.withdraw("r0", PFX)
+    net.converge()
+    withdraw_time = DAY * 3.2
+    net.run_for(DAY * 5 - net.now)
+    history = RoutingHistory(coll, day_length_s=DAY, horizon_s=DAY * 5)
+    return history, announce_time, withdraw_time
+
+
+class TestDailyVisibility:
+    def test_lifecycle_shape(self):
+        history, t_ann, t_wd = feed_with_lifecycle()
+        vis = history.daily_visibility(PFX)
+        assert vis[0] == 0.0          # before announcement
+        assert vis[2] == 1.0          # fully visible
+        assert vis[4] == 0.0          # after withdrawal
+        # Withdrawal day retains partial visibility (the RIPE artefact
+        # the paper mentions): the prefix was visible earlier that day.
+        assert vis[3] == 1.0
+
+    def test_no_peers(self):
+        net = build_line_network(2)
+        coll = RouteCollector("ris", net)
+        history = RoutingHistory(coll, day_length_s=DAY, horizon_s=DAY * 2)
+        assert history.daily_visibility(PFX) == [0.0, 0.0]
+
+    def test_day_length_validated(self):
+        net = build_line_network(2)
+        coll = RouteCollector("ris", net)
+        with pytest.raises(ValueError):
+            RoutingHistory(coll, day_length_s=0.0)
+
+
+class TestWithdrawalPipeline:
+    def test_withdrawal_detected_and_timed(self):
+        history, t_ann, t_wd = feed_with_lifecycle()
+        events = history.find_withdrawals(PFX)
+        assert len(events) == 1
+        event = events[0]
+        assert event.flagged_day == 4
+        # Estimated within the same convergence episode as the truth.
+        assert abs(event.estimated_time - t_wd) < 60.0
+
+    def test_no_withdrawal_no_event(self):
+        net = build_line_network(6)
+        coll = RouteCollector("ris", net)
+        for i in range(1, 6):
+            coll.attach(f"r{i}")
+        net.announce("r0", PFX)
+        net.converge()
+        net.run_for(DAY * 4 - net.now)
+        history = RoutingHistory(coll, day_length_s=DAY, horizon_s=DAY * 4)
+        assert history.find_withdrawals(PFX) == []
+
+
+class TestAnnouncementPipeline:
+    def test_announcement_detected_and_timed(self):
+        history, t_ann, t_wd = feed_with_lifecycle()
+        events = history.find_announcements(PFX)
+        assert len(events) == 1
+        event = events[0]
+        assert event.flagged_day == 1
+        assert abs(event.estimated_time - t_ann) < 60.0
+
+
+class TestCoveredPrefixFraction:
+    def P(self, text):
+        return IPv4Prefix.parse(text)
+
+    def test_no_covering(self):
+        announced = {"hg": [self.P("10.0.0.0/24"), self.P("10.1.0.0/24")]}
+        assert covered_prefix_fraction(announced) == 0.0
+
+    def test_all_covered(self):
+        announced = {"hg": [self.P("10.0.0.0/16"), self.P("10.0.1.0/24")]}
+        # /24 is the only most-specific; it is covered by the /16.
+        assert covered_prefix_fraction(announced) == 1.0
+
+    def test_mixed(self):
+        announced = {
+            "hg": [
+                self.P("10.0.0.0/16"),
+                self.P("10.0.1.0/24"),   # covered most-specific
+                self.P("192.168.0.0/24"),  # uncovered most-specific
+            ]
+        }
+        assert covered_prefix_fraction(announced) == pytest.approx(0.5)
+
+    def test_per_network_isolation(self):
+        """A covering prefix announced by a *different* network does not
+        count (the paper requires same-hypergiant covering)."""
+        announced = {
+            "hg-a": [self.P("10.0.0.0/16")],
+            "hg-b": [self.P("10.0.1.0/24")],
+        }
+        assert covered_prefix_fraction(announced) == 0.0
+
+    def test_empty(self):
+        assert covered_prefix_fraction({}) == 0.0

@@ -1,0 +1,100 @@
+"""Tests for CDF/summary statistics with censoring."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.measurement.stats import Cdf, summarize
+
+
+class TestCdf:
+    def test_basic_quantiles(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.quantile(0.25) == 1.0
+        assert cdf.median() == 2.0
+        assert cdf.quantile(1.0) == 4.0
+
+    def test_at(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(2.0) == 0.5
+        assert cdf.at(10.0) == 1.0
+
+    def test_censored_mass_shifts_quantiles(self):
+        """4 observed + 4 censored: the median is the 4th of 8 samples,
+        but p90 falls into the censored tail."""
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0], censored=4)
+        assert cdf.n == 8
+        assert cdf.median() == 4.0
+        assert cdf.quantile(0.9) == math.inf
+
+    def test_at_with_censored(self):
+        cdf = Cdf([1.0], censored=1)
+        assert cdf.at(100.0) == 0.5
+
+    def test_from_optional(self):
+        cdf = Cdf.from_optional([1.0, None, 2.0, None])
+        assert cdf.observed == 2
+        assert cdf.censored == 2
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError):
+            Cdf([]).median()
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf([-1.0])
+
+    def test_negative_censored_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf([], censored=-1)
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            Cdf([1.0]).quantile(1.1)
+
+    def test_fully_censored(self):
+        cdf = Cdf([], censored=5)
+        assert cdf.median() == math.inf
+        assert cdf.at(1e9) == 0.0
+
+    def test_series_monotone(self):
+        xs, ys = Cdf([3.0, 1.0, 2.0]).series()
+        assert xs == [1.0, 2.0, 3.0]
+        assert ys == [pytest.approx(1 / 3), pytest.approx(2 / 3), pytest.approx(1.0)]
+
+    def test_series_with_censoring_tops_below_one(self):
+        xs, ys = Cdf([1.0], censored=1).series()
+        assert ys == [0.5]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_quantile_monotone(self, samples):
+        cdf = Cdf(samples)
+        qs = [cdf.quantile(q / 10) for q in range(1, 11)]
+        assert qs == sorted(qs)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50),
+        st.floats(min_value=0, max_value=1e6),
+    )
+    def test_at_and_quantile_consistent(self, samples, x):
+        cdf = Cdf(samples)
+        p = cdf.at(x)
+        if p > 0:
+            assert cdf.quantile(p) <= x
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, None])
+        assert summary.n == 4
+        assert summary.censored == 1
+        assert summary.median == 2.0
+        assert summary.p90 == math.inf
+        assert summary.mean_observed == pytest.approx(2.0)
+
+    def test_row_rendering(self):
+        row = summarize([1.0, None]).row()
+        assert "censored=1" in row
+        assert "inf" in row

@@ -1,0 +1,150 @@
+"""Unit and property tests for the LPM trie."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.lpm import LpmTrie
+
+
+def P(text: str) -> IPv4Prefix:
+    return IPv4Prefix.parse(text)
+
+
+def A(text: str) -> IPv4Address:
+    return IPv4Address.parse(text)
+
+
+class TestLpmTrieBasics:
+    def test_empty_lookup(self):
+        assert LpmTrie().lookup(A("10.0.0.1")) is None
+
+    def test_insert_and_exact_get(self):
+        trie = LpmTrie()
+        trie.insert(P("10.0.0.0/8"), "x")
+        assert trie.get(P("10.0.0.0/8")) == "x"
+        assert trie.get(P("10.0.0.0/16")) is None
+
+    def test_longest_match_wins(self):
+        trie = LpmTrie()
+        trie.insert(P("10.0.0.0/8"), "coarse")
+        trie.insert(P("10.1.0.0/16"), "fine")
+        assert trie.lookup(A("10.1.2.3")) == (P("10.1.0.0/16"), "fine")
+        assert trie.lookup(A("10.2.0.0")) == (P("10.0.0.0/8"), "coarse")
+
+    def test_superprefix_fallback_after_removal(self):
+        """The longest-prefix-matching behaviour proactive-superprefix
+        relies on: while the /24 exists it wins; after removal the /23
+        takes over."""
+        trie = LpmTrie()
+        trie.insert(P("184.164.244.0/23"), "backup")
+        trie.insert(P("184.164.244.0/24"), "specific")
+        probe = A("184.164.244.10")
+        assert trie.lookup(probe)[1] == "specific"
+        assert trie.remove(P("184.164.244.0/24"))
+        assert trie.lookup(probe)[1] == "backup"
+
+    def test_remove_missing_returns_false(self):
+        trie = LpmTrie()
+        assert not trie.remove(P("10.0.0.0/8"))
+
+    def test_replace_value(self):
+        trie = LpmTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        trie.insert(P("10.0.0.0/8"), "b")
+        assert trie.get(P("10.0.0.0/8")) == "b"
+        assert len(trie) == 1
+
+    def test_len_tracks_distinct_prefixes(self):
+        trie = LpmTrie()
+        trie.insert(P("10.0.0.0/8"), 1)
+        trie.insert(P("10.0.0.0/16"), 2)
+        assert len(trie) == 2
+        trie.remove(P("10.0.0.0/8"))
+        assert len(trie) == 1
+
+    def test_contains(self):
+        trie = LpmTrie()
+        trie.insert(P("10.0.0.0/8"), 1)
+        assert P("10.0.0.0/8") in trie
+        assert P("10.0.0.0/9") not in trie
+
+    def test_default_route(self):
+        trie = LpmTrie()
+        trie.insert(P("0.0.0.0/0"), "default")
+        assert trie.lookup(A("203.0.113.7")) == (P("0.0.0.0/0"), "default")
+
+    def test_host_route(self):
+        trie = LpmTrie()
+        trie.insert(P("10.0.0.0/8"), "net")
+        trie.insert(P("10.0.0.1/32"), "host")
+        assert trie.lookup(A("10.0.0.1"))[1] == "host"
+        assert trie.lookup(A("10.0.0.2"))[1] == "net"
+
+    def test_items_returns_all(self):
+        trie = LpmTrie()
+        prefixes = [P("10.0.0.0/8"), P("10.1.0.0/16"), P("192.168.0.0/24")]
+        for i, prefix in enumerate(prefixes):
+            trie.insert(prefix, i)
+        assert dict(trie.items()) == {p: i for i, p in enumerate(prefixes)}
+
+    def test_clear(self):
+        trie = LpmTrie()
+        trie.insert(P("10.0.0.0/8"), 1)
+        trie.clear()
+        assert len(trie) == 0
+        assert trie.lookup(A("10.0.0.1")) is None
+
+    def test_lookup_returns_matched_prefix(self):
+        trie = LpmTrie()
+        trie.insert(P("10.1.2.0/24"), "v")
+        match = trie.lookup(A("10.1.2.200"))
+        assert match == (P("10.1.2.0/24"), "v")
+
+
+prefix_strategy = st.builds(
+    lambda value, length: IPv4Prefix.of(IPv4Address(value), length),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+class TestLpmTrieProperties:
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.tuples(prefix_strategy, st.integers()), max_size=30),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_matches_brute_force(self, entries, probe_value):
+        """LPM lookup agrees with a brute-force longest-match scan."""
+        trie = LpmTrie()
+        table: dict[IPv4Prefix, int] = {}
+        for prefix, value in entries:
+            trie.insert(prefix, value)
+            table[prefix] = value
+        probe = IPv4Address(probe_value)
+        expected = None
+        for prefix, value in table.items():
+            if prefix.contains(probe):
+                if expected is None or prefix.length > expected[0].length:
+                    expected = (prefix, value)
+        assert trie.lookup(probe) == expected
+
+    @settings(max_examples=50)
+    @given(st.lists(prefix_strategy, max_size=30, unique=True))
+    def test_insert_remove_roundtrip(self, prefixes):
+        trie = LpmTrie()
+        for prefix in prefixes:
+            trie.insert(prefix, str(prefix))
+        assert len(trie) == len(prefixes)
+        for prefix in prefixes:
+            assert trie.remove(prefix)
+        assert len(trie) == 0
+
+    @settings(max_examples=30)
+    @given(st.lists(prefix_strategy, max_size=20, unique=True))
+    def test_items_roundtrip(self, prefixes):
+        trie = LpmTrie()
+        for prefix in prefixes:
+            trie.insert(prefix, prefix.length)
+        assert sorted(p for p, _ in trie.items()) == sorted(prefixes)

@@ -1,0 +1,39 @@
+"""Unit tests for packet dataclasses."""
+
+from repro.net.addr import IPv4Address
+from repro.net.packet import OPT_OUT_NOTICE, IcmpEcho, IcmpEchoReply, Packet
+
+
+def A(text: str) -> IPv4Address:
+    return IPv4Address.parse(text)
+
+
+class TestPackets:
+    def test_packet_fields(self):
+        p = Packet(src=A("1.1.1.1"), dst=A("2.2.2.2"), payload="x")
+        assert p.src == A("1.1.1.1")
+        assert p.dst == A("2.2.2.2")
+
+    def test_echo_carries_opt_out_notice(self):
+        """§5.3: probe payloads include experiment details / opt-out."""
+        echo = IcmpEcho(src=A("184.164.244.10"), dst=A("10.0.0.1"), seq=7)
+        assert echo.payload == OPT_OUT_NOTICE
+
+    def test_reply_addressed_to_request_source(self):
+        """Replies go to the probe *source*, which is how §5.2 steers
+        them toward the prefix under test."""
+        echo = IcmpEcho(src=A("184.164.244.10"), dst=A("10.0.0.1"), seq=42)
+        reply = echo.reply_from(responder=A("10.0.0.1"))
+        assert isinstance(reply, IcmpEchoReply)
+        assert reply.dst == A("184.164.244.10")
+        assert reply.src == A("10.0.0.1")
+
+    def test_reply_preserves_sequence_number(self):
+        echo = IcmpEcho(src=A("184.164.244.10"), dst=A("10.0.0.1"), seq=42)
+        assert echo.reply_from(A("10.0.0.1")).seq == 42
+
+    def test_packets_are_hashable(self):
+        e1 = IcmpEcho(src=A("1.1.1.1"), dst=A("2.2.2.2"), seq=1)
+        e2 = IcmpEcho(src=A("1.1.1.1"), dst=A("2.2.2.2"), seq=1)
+        assert e1 == e2
+        assert len({e1, e2}) == 1

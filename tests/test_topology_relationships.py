@@ -1,0 +1,82 @@
+"""Unit tests for AS classification and relationship datasets."""
+
+import random
+
+import pytest
+
+from repro.bgp.policy import Relationship
+from repro.topology.relationships import AsClass, RelationshipDataset
+
+
+class TestAsClass:
+    def test_research_classification(self):
+        assert AsClass.RE_BACKBONE.is_research
+        assert AsClass.UNIVERSITY.is_research
+        assert not AsClass.TRANSIT.is_research
+        assert not AsClass.TIER1.is_research
+
+    def test_distributed_classification(self):
+        assert AsClass.TIER1.is_distributed
+        assert AsClass.RE_BACKBONE.is_distributed
+        assert AsClass.HYPERGIANT.is_distributed
+        assert not AsClass.EYEBALL.is_distributed
+        assert not AsClass.TRANSIT.is_distributed
+        assert not AsClass.CDN.is_distributed
+
+
+class TestRelationshipDataset:
+    LINKS = [
+        (1, 2, Relationship.PROVIDER),  # 2 is 1's provider
+        (2, 3, Relationship.PEER),
+        (3, 4, Relationship.CUSTOMER),  # 4 is 3's customer
+    ]
+
+    def test_lookup_both_directions(self):
+        ds = RelationshipDataset.from_links(self.LINKS)
+        assert ds.lookup(1, 2) is Relationship.PROVIDER
+        assert ds.lookup(2, 1) is Relationship.CUSTOMER
+        assert ds.lookup(2, 3) is Relationship.PEER
+        assert ds.lookup(3, 2) is Relationship.PEER
+
+    def test_lookup_unknown(self):
+        ds = RelationshipDataset.from_links(self.LINKS)
+        assert ds.lookup(1, 99) is None
+
+    def test_len_counts_links_once(self):
+        ds = RelationshipDataset.from_links(self.LINKS)
+        assert len(ds) == 3
+
+    def test_preference_rank_ordering(self):
+        """Customer(0) < peer(1) < provider(2): Appendix C.1's business
+        preference order."""
+        ds = RelationshipDataset.from_links(self.LINKS)
+        assert ds.preference_rank(3, 4) == 0
+        assert ds.preference_rank(2, 3) == 1
+        assert ds.preference_rank(1, 2) == 2
+
+    def test_preference_rank_unclassified(self):
+        ds = RelationshipDataset.from_links(self.LINKS)
+        assert ds.preference_rank(1, 99) is None
+
+    def test_partial_coverage_drops_links(self):
+        links = [(i, i + 100, Relationship.PEER) for i in range(200)]
+        ds = RelationshipDataset.from_links(links, coverage=0.5, rng=random.Random(1))
+        assert 50 < len(ds) < 150
+
+    def test_full_coverage_keeps_everything(self):
+        links = [(i, i + 100, Relationship.PEER) for i in range(50)]
+        ds = RelationshipDataset.from_links(links, coverage=1.0)
+        assert len(ds) == 50
+
+    def test_coverage_validated(self):
+        with pytest.raises(ValueError):
+            RelationshipDataset.from_links([], coverage=1.5)
+
+
+class TestTopologyDataset:
+    def test_dataset_matches_ground_truth(self, small_topology):
+        ds = small_topology.relationship_dataset()
+        link = small_topology.links[0]
+        a_asn = small_topology.ases[link.a].asn
+        b_asn = small_topology.ases[link.b].asn
+        assert ds.lookup(a_asn, b_asn) is link.relationship

@@ -1,0 +1,89 @@
+"""Generator scaling and parameter-surface tests."""
+
+import pytest
+
+from repro.topology.generator import TopologyParams, generate_topology
+from repro.topology.relationships import AsClass
+from repro.topology.testbed import SiteSpec, build_deployment
+
+from tests.conftest import FAST_TIMING
+from repro.net.addr import IPv4Prefix
+
+PFX = IPv4Prefix.parse("184.164.244.0/24")
+
+
+class TestScaling:
+    def test_minimal_topology(self):
+        """The smallest sensible parameterization still builds and
+        converges."""
+        params = TopologyParams(
+            seed=1, n_tier1=3, n_transit_per_region=1, n_regional_per_region=0,
+            n_eyeball_per_region=1, n_stub_per_region=0,
+            n_university_per_region=1, n_re_backbone=2, n_hypergiant=1,
+            transit_providers=1, regional_providers=1,
+        )
+        topology = generate_topology(params)
+        network = topology.build_network(timing=FAST_TIMING)
+        origin = topology.web_client_ases()[0].node_id
+        network.announce(origin, PFX)
+        network.converge()
+        reachable = sum(
+            1 for node in network.nodes()
+            if network.router(node).best_route(PFX) is not None
+        )
+        assert reachable == len(network.nodes())
+
+    def test_double_scale_topology(self):
+        """2x the default client population: still connected, still
+        unique prefixes, roughly 2x the ASes."""
+        default_size = len(generate_topology().ases)
+        params = TopologyParams(
+            n_eyeball_per_region=28, n_university_per_region=8,
+            n_stub_per_region=6,
+        )
+        topology = generate_topology(params)
+        assert len(topology.ases) > 1.5 * default_size
+        prefixes = [a.prefix for a in topology.ases.values() if a.prefix]
+        assert len(prefixes) == len(set(prefixes))
+
+    def test_many_hypergiants(self):
+        params = TopologyParams(n_hypergiant=8)
+        topology = generate_topology(params)
+        giants = topology.by_class(AsClass.HYPERGIANT)
+        assert len(giants) == 8
+        blocks = [g.prefix for g in giants]
+        assert len(blocks) == len(set(blocks))
+
+    def test_event_volume_scales_linearly_enough(self):
+        """A single-prefix announcement produces O(links) update events,
+        not worse -- the property that keeps big runs tractable."""
+        small = generate_topology(TopologyParams(seed=3, n_eyeball_per_region=4))
+        large = generate_topology(TopologyParams(seed=3, n_eyeball_per_region=16))
+
+        def events_for(topology):
+            network = topology.build_network(timing=FAST_TIMING)
+            origin = topology.by_class(AsClass.HYPERGIANT)[0].node_id
+            network.announce(origin, PFX)
+            network.converge()
+            return network.engine.processed, len(topology.links)
+
+        small_events, small_links = events_for(small)
+        large_events, large_links = events_for(large)
+        assert large_events / small_events < 3.0 * (large_links / small_links)
+
+
+class TestDeploymentOnScaledTopology:
+    def test_sites_attach_to_scaled_topology(self):
+        """Default site specs survive a client-population rescale (they
+        reference transit/uni/re nodes whose names don't depend on the
+        eyeball counts)."""
+        params = TopologyParams(n_eyeball_per_region=20)
+        deployment = build_deployment(params=params)
+        assert len(deployment.site_names) == 8
+
+    def test_fewer_universities_break_specs_loudly(self):
+        """Shrinking below the names the specs use fails with a clear
+        error instead of silently mis-attaching."""
+        params = TopologyParams(n_university_per_region=1)
+        with pytest.raises(ValueError, match="uni-"):
+            build_deployment(params=params)

@@ -1,0 +1,148 @@
+"""Tests for the static valley-free routing solver, including its
+equivalence with the dynamic BGP simulator's steady state."""
+
+import pytest
+
+from repro.bgp.policy import LOCAL_PREF, Relationship
+from repro.topology.generator import Topology, TopologyParams, generate_topology
+from repro.topology.geo import Location
+from repro.topology.relationships import AsClass, AsInfo
+from repro.topology.static_routes import CUSTOMER, PEER, PROVIDER, StaticRoutes
+from repro.net.addr import IPv4Prefix
+
+from tests.conftest import FAST_TIMING, SMALL_PARAMS
+
+PFX = IPv4Prefix.parse("184.164.244.0/24")
+
+
+def hand_topology() -> Topology:
+    r"""dest <- mid (provider) ; mid -- peer ; peer <- top? layout:
+
+        top
+         |        (top provides mid and far)
+        mid ------ peer      (mid peers with peer)
+         |
+        dest                 (mid provides dest)
+        far is customer of top only.
+    """
+    topo = Topology(params=TopologyParams())
+    loc = Location("us-west", 0.0, 0.0)
+    for name, klass in (
+        ("dest", AsClass.EYEBALL),
+        ("mid", AsClass.TRANSIT),
+        ("peer", AsClass.TRANSIT),
+        ("top", AsClass.TIER1),
+        ("far", AsClass.EYEBALL),
+    ):
+        topo.add_as(AsInfo(name, hash(name) % 1000 + abs(hash(name)) % 7, klass, loc))
+    # avoid accidental duplicate asns for determinism of tests
+    for i, name in enumerate(topo.ases):
+        topo.ases[name].asn = 100 + i
+    topo.link("dest", "mid", Relationship.PROVIDER)
+    topo.link("mid", "top", Relationship.PROVIDER)
+    topo.link("mid", "peer", Relationship.PEER)
+    topo.link("far", "top", Relationship.PROVIDER)
+    return topo
+
+
+class TestStaticSolver:
+    def test_customer_route_upward(self):
+        routes = StaticRoutes(hand_topology(), "dest")
+        mid = routes.route("mid")
+        assert mid.pref_class == CUSTOMER
+        assert mid.next_hop == "dest"
+        top = routes.route("top")
+        assert top.pref_class == CUSTOMER
+        assert top.hops == 2
+
+    def test_peer_route(self):
+        routes = StaticRoutes(hand_topology(), "dest")
+        peer = routes.route("peer")
+        assert peer.pref_class == PEER
+        assert peer.next_hop == "mid"
+
+    def test_provider_route_downward(self):
+        routes = StaticRoutes(hand_topology(), "dest")
+        far = routes.route("far")
+        assert far.pref_class == PROVIDER
+        assert far.next_hop == "top"
+        assert far.hops == 3
+
+    def test_dest_has_no_route_entry(self):
+        routes = StaticRoutes(hand_topology(), "dest")
+        assert routes.route("dest") is None
+        assert routes.reachable("dest")
+
+    def test_path_reconstruction(self):
+        routes = StaticRoutes(hand_topology(), "dest")
+        assert routes.path("far") == ["far", "top", "mid", "dest"]
+        assert routes.path("dest") == ["dest"]
+
+    def test_unknown_destination_rejected(self):
+        with pytest.raises(ValueError):
+            StaticRoutes(hand_topology(), "nope")
+
+    def test_valley_free_invariant(self):
+        """After a peer or provider step, every subsequent step must be
+        downward (provider -> customer)."""
+        topo = generate_topology(SMALL_PARAMS)
+        clients = topo.web_client_ases()[:8]
+        for dest in clients:
+            routes = StaticRoutes(topo, dest.node_id)
+            for src in topo.ases:
+                path = routes.path(src)
+                if path is None:
+                    continue
+                descended = False
+                for a, b in zip(path, path[1:]):
+                    rel = topo.neighbors(a)[b]
+                    if descended:
+                        assert rel is Relationship.CUSTOMER, (
+                            f"valley in path {path} at {a}->{b}"
+                        )
+                    if rel is not Relationship.PROVIDER:
+                        descended = True
+
+    def test_rtt_positive_and_symmetric_scale(self):
+        topo = generate_topology(SMALL_PARAMS)
+        dest = topo.web_client_ases()[0]
+        routes = StaticRoutes(topo, dest.node_id)
+        for src in list(topo.ases)[:20]:
+            if src == dest.node_id:
+                continue
+            rtt = routes.rtt_s(src)
+            if rtt is not None:
+                assert 0 < rtt < 1.0  # under a second
+
+
+class TestEquivalenceWithDynamicBgp:
+    """The static solver must agree with the converged dynamic simulator
+    on route *class* and path length for a single-origin prefix."""
+
+    @pytest.mark.parametrize("dest_index", [0, 3, 6])
+    def test_same_preference_class_and_hops(self, dest_index):
+        topo = generate_topology(SMALL_PARAMS)
+        dest = topo.web_client_ases()[dest_index]
+        static = StaticRoutes(topo, dest.node_id)
+
+        network = topo.build_network(seed=5, timing=FAST_TIMING)
+        network.announce(dest.node_id, PFX)
+        network.converge()
+
+        pref_of_class = {CUSTOMER: LOCAL_PREF[Relationship.CUSTOMER],
+                         PEER: LOCAL_PREF[Relationship.PEER],
+                         PROVIDER: LOCAL_PREF[Relationship.PROVIDER]}
+        checked = 0
+        for node in topo.ases:
+            if node == dest.node_id:
+                continue
+            dynamic = network.router(node).best_route(PFX)
+            expected = static.route(node)
+            if expected is None:
+                assert dynamic is None
+                continue
+            assert dynamic is not None, f"{node} unreachable dynamically"
+            assert dynamic.local_pref == pref_of_class[expected.pref_class], node
+            assert len(dynamic.as_path) == expected.hops, node
+            checked += 1
+        assert checked > 20
