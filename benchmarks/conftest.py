@@ -12,6 +12,7 @@ so they survive output capturing.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -41,6 +42,13 @@ def report(title: str, lines: list[str]) -> None:
     print("\n" + block)
     with RESULTS_PATH.open("a") as handle:
         handle.write(block + "\n")
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable bench result as BENCH_<name>.json."""
+    path = pathlib.Path(__file__).parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session", autouse=True)

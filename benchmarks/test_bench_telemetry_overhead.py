@@ -1,0 +1,93 @@
+"""Telemetry overhead: a Fig. 2-style failover run with telemetry off
+vs. on.
+
+The disabled path is the acceptance target -- instrumentation guarded by
+the null backend must cost a single attribute check per call site, so a
+run with telemetry disabled has to stay within a few percent of the
+uninstrumented seed. The enabled path (full trace recorder + counters)
+is reported alongside as the price of turning everything on. Results go
+to ``BENCH_telemetry_overhead.json`` for machine consumption.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro import telemetry
+from repro.core.experiment import FailoverConfig, FailoverExperiment
+from repro.core.techniques import ReactiveAnycast
+
+from benchmarks.conftest import report, write_bench_json
+
+ROUNDS = 3
+SITE = "sea1"
+
+
+def _time_runs(experiment, technique, rounds: int) -> list[float]:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        experiment.run_site(technique, SITE)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def test_telemetry_overhead(benchmark, deployment):
+    config = FailoverConfig(probe_duration=600.0, targets_per_site=25)
+    experiment = FailoverExperiment(deployment.topology, deployment, config)
+    technique = ReactiveAnycast()
+    # Warm the topology-only caches (catchment, hitlist, selection) so
+    # both modes time only the run itself.
+    experiment.run_site(technique, SITE)
+
+    disabled = _time_runs(experiment, technique, ROUNDS)
+
+    tracer = telemetry.TraceRecorder()
+    active = telemetry.Telemetry(tracer=tracer)
+    with telemetry.using(active):
+        enabled = _time_runs(experiment, technique, ROUNDS)
+
+    disabled_s = min(disabled)
+    enabled_s = min(enabled)
+    ratio = enabled_s / disabled_s
+    events_processed = active.counter("engine.events_processed").value
+    payload = {
+        "scenario": f"fig2-style run_site({technique.name!r}, {SITE!r})",
+        "probe_duration_s": config.probe_duration,
+        "targets_per_site": config.targets_per_site,
+        "rounds": ROUNDS,
+        "disabled": {
+            "runs_s": disabled,
+            "best_s": disabled_s,
+            "mean_s": statistics.mean(disabled),
+        },
+        "enabled": {
+            "runs_s": enabled,
+            "best_s": enabled_s,
+            "mean_s": statistics.mean(enabled),
+            "events_traced": len(tracer.events) // ROUNDS,
+            "engine_events_per_run": events_processed // ROUNDS,
+        },
+        "enabled_over_disabled": ratio,
+        "acceptance": "disabled path must stay within 5% of the seed "
+                      "(one attribute check per instrumented call site)",
+    }
+    path = write_bench_json("telemetry_overhead", payload)
+
+    report("Telemetry overhead — Fig. 2-style run, off vs on", [
+        f"- telemetry off: best {disabled_s:.2f}s over {ROUNDS} rounds",
+        f"- telemetry on:  best {enabled_s:.2f}s "
+        f"({len(tracer.events) // ROUNDS} events/run traced)",
+        f"- enabled/disabled ratio: {ratio:.3f}",
+        f"- machine-readable: {path.name}",
+    ])
+
+    # Full tracing of a multi-thousand-event run should not blow up the
+    # run time; the bound is loose to stay robust on shared CI hosts.
+    assert ratio < 1.5, f"enabled telemetry ratio {ratio:.2f} too high"
+
+    # Give pytest-benchmark one measured round of the disabled path.
+    benchmark.pedantic(
+        experiment.run_site, args=(technique, SITE), rounds=1, iterations=1
+    )

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.net.addr import IPv4Prefix
+from repro.telemetry import registry as telemetry_registry
+from repro.telemetry.trace import FlapDamped
 
 if TYPE_CHECKING:
     from repro.bgp.engine import EventEngine
@@ -65,10 +67,14 @@ class RouteDamping:
         engine: "EventEngine",
         config: DampingConfig,
         on_release: Callable[[IPv4Prefix], None],
+        owner: str = "",
     ) -> None:
         self.engine = engine
         self.config = config
         self.on_release = on_release
+        #: node id of the router this damping state belongs to (telemetry)
+        self.owner = owner
+        self._telemetry = telemetry_registry.current()
         self._state: dict[tuple[IPv4Prefix, str], _FlapState] = {}
         #: flaps recorded (diagnostics)
         self.flaps = 0
@@ -92,6 +98,18 @@ class RouteDamping:
         if not state.suppressed and state.penalty >= self.config.suppress_threshold:
             state.suppressed = True
             self.suppressions += 1
+            telemetry = self._telemetry
+            if telemetry.enabled:
+                telemetry.inc("bgp.flaps_damped")
+                telemetry.emit(
+                    FlapDamped(
+                        t=now,
+                        node=self.owner,
+                        prefix=str(prefix),
+                        neighbor=neighbor,
+                        penalty=state.penalty,
+                    )
+                )
             self._schedule_release(prefix, neighbor, state)
 
     def _schedule_release(

@@ -11,7 +11,26 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Callable
+
+from repro.telemetry import registry as telemetry_registry
+
+
+class CallbackError(RuntimeError):
+    """A scheduled callback raised.
+
+    Wraps the original exception (available as ``__cause__``) with the
+    simulation-time context a bare traceback lacks: when the callback
+    was due and what it was.
+    """
+
+    def __init__(self, when: float, callback: Callable[[], None]) -> None:
+        super().__init__(
+            f"event callback {callback!r} scheduled at t={when:.6f}s raised"
+        )
+        self.when = when
+        self.callback = callback
 
 
 class EventEngine:
@@ -26,6 +45,9 @@ class EventEngine:
         self._counter = itertools.count()
         self._now = 0.0
         self._processed = 0
+        #: active telemetry backend, captured at construction; the
+        #: disabled (NULL) backend makes instrumentation one attr check
+        self._telemetry = telemetry_registry.current()
 
     @property
     def now(self) -> float:
@@ -55,13 +77,34 @@ class EventEngine:
         heapq.heappush(self._queue, (when, next(self._counter), callback))
 
     def step(self) -> bool:
-        """Execute the next event; returns False if the queue is empty."""
+        """Execute the next event; returns False if the queue is empty.
+
+        A raising callback surfaces as :class:`CallbackError` carrying
+        the scheduled time and callback repr, chained onto the original
+        exception.
+        """
         if not self._queue:
             return False
         when, _, callback = heapq.heappop(self._queue)
         self._now = when
         self._processed += 1
-        callback()
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            start = time.perf_counter()
+            try:
+                callback()
+            except Exception as error:
+                raise CallbackError(when, callback) from error
+            telemetry.observe(
+                "engine.callback_wall_us", (time.perf_counter() - start) * 1e6
+            )
+            telemetry.inc("engine.events_processed")
+            telemetry.set_gauge("engine.queue_depth", len(self._queue))
+        else:
+            try:
+                callback()
+            except Exception as error:
+                raise CallbackError(when, callback) from error
         return True
 
     def run_until(self, deadline: float) -> None:

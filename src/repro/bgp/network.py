@@ -16,6 +16,7 @@ from repro.bgp.policy import Relationship
 from repro.bgp.router import BgpRouter
 from repro.bgp.session import Session, SessionTiming
 from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.telemetry import registry as telemetry_registry
 
 
 class BgpNetwork:
@@ -29,6 +30,11 @@ class BgpNetwork:
     ) -> None:
         self.engine = EventEngine()
         self.rng = random.Random(seed)
+        # Point trace-event timestamps at this network's simulated clock
+        # (the newest network wins; experiments build one per run).
+        telemetry = telemetry_registry.current()
+        if telemetry.enabled:
+            telemetry.bind_clock(lambda: self.engine.now)
         self.default_timing = default_timing or SessionTiming()
         self.damping_config = damping
         self.routers: dict[str, BgpRouter] = {}
@@ -63,6 +69,7 @@ class BgpNetwork:
                 self.engine,
                 self.damping_config,
                 on_release=lambda prefix, r=router: r._reselect(prefix),
+                owner=node_id,
             )
         self.routers[node_id] = router
         self.adjacency[node_id] = {}

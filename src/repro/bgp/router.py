@@ -27,6 +27,8 @@ from repro.bgp.route import Route
 from repro.bgp.session import Session
 from repro.net.addr import IPv4Prefix
 from repro.net.lpm import LpmTrie
+from repro.telemetry import registry as telemetry_registry
+from repro.telemetry.trace import FibInstalled, RouteSelected
 
 if TYPE_CHECKING:
     from repro.bgp.damping import RouteDamping
@@ -75,6 +77,7 @@ class BgpRouter:
         self.fib_delay_source: Callable[[], tuple["EventEngine", float]] | None = None
         #: optional route flap damping, wired by BgpNetwork
         self.damping: "RouteDamping | None" = None
+        self._telemetry = telemetry_registry.current()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -165,6 +168,8 @@ class BgpRouter:
         """Process one update from a neighbor (called by session delivery)."""
         if update.sender not in self.sessions:
             raise ValueError(f"{self.node_id!r}: update from unknown neighbor {update.sender!r}")
+        if self._telemetry.enabled:
+            self._telemetry.inc("bgp.updates_received")
         if self.damping is not None:
             self._account_flap(update)
         if isinstance(update, Announcement):
@@ -209,6 +214,18 @@ class BgpRouter:
         if best == previous:
             return
         self.loc_rib.set(prefix, best)
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.inc("bgp.rib_churn")
+            telemetry.emit(
+                RouteSelected(
+                    t=telemetry.now(),
+                    node=self.node_id,
+                    prefix=str(prefix),
+                    via=best.learned_from if best is not None else None,
+                    as_path_len=len(best.as_path) if best is not None else 0,
+                )
+            )
         self._schedule_fib_install(prefix)
         for session in self.sessions.values():
             self._export_to(session, prefix, best)
@@ -232,8 +249,21 @@ class BgpRouter:
         best = self.loc_rib.get(prefix)
         if best is None:
             self.fib.remove(prefix)
+            next_hop = None
         else:
-            self.fib.insert(prefix, best.learned_from or self.node_id)
+            next_hop = best.learned_from or self.node_id
+            self.fib.insert(prefix, next_hop)
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.inc("bgp.fib_installs")
+            telemetry.emit(
+                FibInstalled(
+                    t=telemetry.now(),
+                    node=self.node_id,
+                    prefix=str(prefix),
+                    next_hop=next_hop,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Export

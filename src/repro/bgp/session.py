@@ -25,6 +25,8 @@ from typing import TYPE_CHECKING, Callable
 from repro.bgp.messages import Announcement, Update, Withdrawal
 from repro.bgp.policy import Relationship
 from repro.net.addr import IPv4Prefix
+from repro.telemetry import registry as telemetry_registry
+from repro.telemetry.trace import BgpUpdateSent
 
 if TYPE_CHECKING:
     from repro.bgp.engine import EventEngine
@@ -124,6 +126,7 @@ class Session:
         self.advertised: set[IPv4Prefix] = set()
         #: count of updates put on the wire (for tests and diagnostics).
         self.sent_updates = 0
+        self._telemetry = telemetry_registry.current()
 
     def send(self, update: Update) -> None:
         """Queue ``update`` for the remote end, respecting MRAI pacing.
@@ -135,11 +138,16 @@ class Session:
         """
         if self.closed:
             return
+        telemetry = self._telemetry
         prefix = update.prefix
         if isinstance(update, Withdrawal) and prefix not in self.advertised:
             self._pending.pop(prefix, None)
+            if telemetry.enabled:
+                telemetry.inc("bgp.updates_suppressed")
             return
         self._pending[prefix] = update
+        if self._mrai_running and telemetry.enabled:
+            telemetry.inc("bgp.mrai_deferrals")
         if not self._mrai_running:
             if (
                 self.mrai > 0
@@ -160,6 +168,7 @@ class Session:
         if self.closed:
             self._pending.clear()
             return
+        telemetry = self._telemetry
         for update in self._pending.values():
             if isinstance(update, Announcement):
                 self.advertised.add(update.prefix)
@@ -169,6 +178,20 @@ class Session:
             deliver_at = max(self.engine.now + delay, self._last_delivery + 1e-6)
             self._last_delivery = deliver_at
             self.sent_updates += 1
+            if telemetry.enabled:
+                telemetry.inc("bgp.updates_sent")
+                telemetry.emit(
+                    BgpUpdateSent(
+                        t=self.engine.now,
+                        sender=self.local,
+                        receiver=self.remote,
+                        prefix=str(update.prefix),
+                        update="announce" if isinstance(update, Announcement) else "withdraw",
+                        as_path_len=len(update.as_path)
+                        if isinstance(update, Announcement)
+                        else 0,
+                    )
+                )
             self.engine.schedule_at(deliver_at, self._make_delivery(update))
         self._pending.clear()
 

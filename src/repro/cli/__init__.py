@@ -12,9 +12,14 @@
     repro playbook --drain ams        # anycast-agility drain plays
     repro scenario -e fail:sea1@60 -e recover:sea1@200
     repro configgen -t proactive-prepending -o configs/
+    repro failover --trace out.jsonl   # record a structured trace
+    repro trace summarize out.jsonl    # per-phase/per-router breakdown
 
 Every command accepts ``--seed`` and the experiment ones accept scale
-knobs, so results are reproducible and tunable without code.
+knobs, so results are reproducible and tunable without code. ``-v``
+turns on INFO-level diagnostics (``-vv`` for DEBUG) on stderr; the
+experiment commands accept ``--trace``/``--metrics`` (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -22,7 +27,19 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.cli import appendix, compare, configgen_cmd, control, drill, failover, playbook_cmd, scenario, topology_cmd
+from repro.cli import (
+    appendix,
+    compare,
+    configgen_cmd,
+    control,
+    drill,
+    failover,
+    playbook_cmd,
+    scenario,
+    topology_cmd,
+    trace_cmd,
+)
+from repro.telemetry import logs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,8 +51,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--seed", type=int, default=42, help="topology/experiment seed")
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="diagnostics on stderr (-v = INFO, -vv = DEBUG)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    for module in (topology_cmd, failover, compare, control, appendix, drill, playbook_cmd, scenario, configgen_cmd):
+    for module in (
+        topology_cmd,
+        failover,
+        compare,
+        control,
+        appendix,
+        drill,
+        playbook_cmd,
+        scenario,
+        configgen_cmd,
+        trace_cmd,
+    ):
         module.register(subparsers)
     return parser
 
@@ -43,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    logs.configure(args.verbose)
     return args.func(args)
 
 

@@ -1,0 +1,87 @@
+"""Shared CLI helpers: telemetry flags and session management.
+
+Every experiment subcommand (``failover``, ``compare``, ``drill``,
+``scenario``) accepts the same observability flags::
+
+    --trace PATH        record a structured JSONL trace of the run
+    --trace-limit N     keep only the newest N events (ring buffer)
+    --metrics           print the counter/histogram dump after the run
+
+:func:`telemetry_session` turns those into an installed
+:class:`~repro.telemetry.Telemetry` for the duration of the command and
+handles the export on the way out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro import telemetry
+
+logger = logging.getLogger(__name__)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text!r}")
+    return value
+
+
+def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL trace of the run's events to PATH",
+    )
+    group.add_argument(
+        "--trace-limit", type=_positive_int, default=None, metavar="N",
+        help="bound the trace to the newest N events (ring buffer)",
+    )
+    group.add_argument(
+        "--metrics", action="store_true",
+        help="print counters and timing histograms after the run",
+    )
+
+
+@contextmanager
+def telemetry_session(args: argparse.Namespace) -> Iterator[telemetry.Telemetry | None]:
+    """Install telemetry for a command when its flags ask for it.
+
+    Yields the live :class:`~repro.telemetry.Telemetry` (or None when
+    neither ``--trace`` nor ``--metrics`` was given). On exit the trace
+    is written to the requested path and the metrics dump printed.
+    """
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_path is None and not want_metrics:
+        yield None
+        return
+    tracer = None
+    if trace_path is not None:
+        # Fail fast on an unwritable path rather than after the run.
+        try:
+            with open(trace_path, "w"):
+                pass
+        except OSError as error:
+            print(f"cannot write trace file {trace_path}: {error}", file=sys.stderr)
+            raise SystemExit(2) from error
+        tracer = telemetry.TraceRecorder(capacity=getattr(args, "trace_limit", None))
+    active = telemetry.Telemetry(tracer=tracer)
+    with telemetry.using(active):
+        yield active
+    if tracer is not None:
+        count = tracer.write_jsonl(trace_path)
+        logger.info("wrote %d trace events to %s", count, trace_path)
+        if tracer.dropped:
+            logger.warning(
+                "trace ring buffer evicted %d events (kept the newest %d)",
+                tracer.dropped, len(tracer),
+            )
+    if want_metrics:
+        print()
+        print(active.render())

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.cli.common import add_telemetry_arguments, telemetry_session
 from repro.cli.failover import add_scale_arguments, make_experiment
 from repro.core.experiment import pooled_outcomes
 from repro.core.techniques import (
@@ -30,28 +31,30 @@ def register(subparsers) -> None:
         help="also run the §4 combined technique",
     )
     add_scale_arguments(parser)
+    add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
 
 
 def run(args: argparse.Namespace) -> int:
-    experiment = make_experiment(args)
-    sites = args.sites or experiment.deployment.site_names
-    techniques = [
-        Anycast(), ReactiveAnycast(), ProactivePrepending(3), ProactiveSuperprefix(),
-    ]
-    if args.include_combined:
-        techniques.append(Combined())
+    with telemetry_session(args):
+        experiment = make_experiment(args)
+        sites = args.sites or experiment.deployment.site_names
+        techniques = [
+            Anycast(), ReactiveAnycast(), ProactivePrepending(3), ProactiveSuperprefix(),
+        ]
+        if args.include_combined:
+            techniques.append(Combined())
 
-    failover_cdfs: dict[str, Cdf] = {}
-    print(f"{'technique':26s} {'n':>4s} {'recon p50':>10s} {'fo p50':>8s} {'fo p90':>8s}")
-    for technique in techniques:
-        outcomes = pooled_outcomes(experiment.run_all_sites(technique, sites))
-        recon = Cdf.from_optional([o.reconnection_s for o in outcomes])
-        failover = Cdf.from_optional([o.failover_s for o in outcomes])
-        failover_cdfs[technique.name] = failover
-        print(f"{technique.name:26s} {recon.n:4d} {recon.median():9.1f}s "
-              f"{failover.median():7.1f}s {failover.quantile(0.9):7.1f}s")
+        failover_cdfs: dict[str, Cdf] = {}
+        print(f"{'technique':26s} {'n':>4s} {'recon p50':>10s} {'fo p50':>8s} {'fo p90':>8s}")
+        for technique in techniques:
+            outcomes = pooled_outcomes(experiment.run_all_sites(technique, sites))
+            recon = Cdf.from_optional([o.reconnection_s for o in outcomes])
+            failover = Cdf.from_optional([o.failover_s for o in outcomes])
+            failover_cdfs[technique.name] = failover
+            print(f"{technique.name:26s} {recon.n:4d} {recon.median():9.1f}s "
+                  f"{failover.median():7.1f}s {failover.quantile(0.9):7.1f}s")
 
-    print("\nfailover time CDF across <failed site, target>:")
-    print(render_cdfs(failover_cdfs))
+        print("\nfailover time CDF across <failed site, target>:")
+        print(render_cdfs(failover_cdfs))
     return 0

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import argparse
+import logging
 
 from repro.measurement.catchment import anycast_catchment
 from repro.measurement.control import measure_control_all_sites
 from repro.topology.generator import TopologyParams
 from repro.topology.testbed import build_deployment
+
+logger = logging.getLogger(__name__)
 
 
 def register(subparsers) -> None:
@@ -28,7 +31,7 @@ def register(subparsers) -> None:
 
 def run(args: argparse.Namespace) -> int:
     deployment = build_deployment(params=TopologyParams(seed=args.seed))
-    print("computing anycast catchment ...")
+    logger.info("computing anycast catchment ...")
     catchment = anycast_catchment(deployment.topology, deployment, seed=args.seed)
     results = measure_control_all_sites(
         deployment.topology,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.cli.common import add_telemetry_arguments, telemetry_session
 from repro.core.drill import RotationDrill
 from repro.core.techniques import TECHNIQUES, technique_by_name
 from repro.topology.generator import TopologyParams
@@ -21,21 +22,23 @@ def register(subparsers) -> None:
                         help="recovery deadline per site (sim s)")
     parser.add_argument("--clients", type=int, default=25,
                         help="monitored client ASes")
+    add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
 
 
 def run(args: argparse.Namespace) -> int:
-    deployment = build_deployment(params=TopologyParams(seed=args.seed))
-    technique = technique_by_name(args.technique)
-    clients = [
-        info.node_id for info in deployment.topology.web_client_ases()
-    ][: args.clients]
-    drill = RotationDrill(
-        deployment.topology, deployment, technique,
-        deadline_s=args.deadline, seed=args.seed,
-    )
-    for outcome in drill.run_rotation(clients):
-        status = "PASS" if outcome.passed else f"FAIL ({outcome.stranded} stranded)"
-        print(f"  {outcome.site:6s} recovered {outcome.recovered:3d}/{len(clients)}  {status}")
-    print("rotation verdict:", "all sites pass" if drill.all_passed() else "FAILURES")
+    with telemetry_session(args):
+        deployment = build_deployment(params=TopologyParams(seed=args.seed))
+        technique = technique_by_name(args.technique)
+        clients = [
+            info.node_id for info in deployment.topology.web_client_ases()
+        ][: args.clients]
+        drill = RotationDrill(
+            deployment.topology, deployment, technique,
+            deadline_s=args.deadline, seed=args.seed,
+        )
+        for outcome in drill.run_rotation(clients):
+            status = "PASS" if outcome.passed else f"FAIL ({outcome.stranded} stranded)"
+            print(f"  {outcome.site:6s} recovered {outcome.recovered:3d}/{len(clients)}  {status}")
+        print("rotation verdict:", "all sites pass" if drill.all_passed() else "FAILURES")
     return 0 if drill.all_passed() else 1

@@ -3,13 +3,17 @@
 from __future__ import annotations
 
 import argparse
+import logging
 from collections import Counter
 
+from repro.cli.common import add_telemetry_arguments, telemetry_session
 from repro.core.experiment import FailoverConfig, FailoverExperiment
 from repro.core.techniques import TECHNIQUES, technique_by_name
 from repro.measurement.stats import summarize
 from repro.topology.generator import TopologyParams
 from repro.topology.testbed import build_deployment
+
+logger = logging.getLogger(__name__)
 
 
 def add_scale_arguments(parser: argparse.ArgumentParser) -> None:
@@ -50,24 +54,26 @@ def register(subparsers) -> None:
     parser.add_argument("--prepend", type=int, default=3,
                         help="prepend count for proactive-prepending")
     add_scale_arguments(parser)
+    add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
 
 
 def run(args: argparse.Namespace) -> int:
-    experiment = make_experiment(args)
     kwargs = {"prepend": args.prepend} if args.technique == "proactive-prepending" else {}
     technique = technique_by_name(args.technique, **kwargs)
-    if args.site not in experiment.deployment.sites:
-        print(f"unknown site {args.site!r}; have {experiment.deployment.site_names}")
-        return 2
 
-    print(f"failing {args.site} under {technique.name} "
-          f"({'silent' if args.silent else 'withdrawing'} failure) ...")
-    result = experiment.run_site(technique, args.site)
-    print(f"selected {len(result.selection.targets)} targets, "
-          f"{len(result.controllable)} controllable pre-failure")
-    print(f"reconnection: {summarize([o.reconnection_s for o in result.outcomes]).row()}")
-    print(f"failover:     {summarize([o.failover_s for o in result.outcomes]).row()}")
-    landing = Counter(o.final_site for o in result.outcomes)
-    print(f"serving sites after failover: {dict(landing)}")
+    with telemetry_session(args):
+        experiment = make_experiment(args)
+        if args.site not in experiment.deployment.sites:
+            print(f"unknown site {args.site!r}; have {experiment.deployment.site_names}")
+            return 2
+        print(f"failing {args.site} under {technique.name} "
+              f"({'silent' if args.silent else 'withdrawing'} failure) ...")
+        result = experiment.run_site(technique, args.site)
+        print(f"selected {len(result.selection.targets)} targets, "
+              f"{len(result.controllable)} controllable pre-failure")
+        print(f"reconnection: {summarize([o.reconnection_s for o in result.outcomes]).row()}")
+        print(f"failover:     {summarize([o.failover_s for o in result.outcomes]).row()}")
+        landing = Counter(o.final_site for o in result.outcomes)
+        print(f"serving sites after failover: {dict(landing)}")
     return 0

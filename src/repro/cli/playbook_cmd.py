@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import argparse
+import logging
 
 from repro.core.playbook import Playbook
 from repro.topology.generator import TopologyParams
 from repro.topology.testbed import build_deployment
+
+logger = logging.getLogger(__name__)
 
 
 def register(subparsers) -> None:
@@ -31,7 +34,7 @@ def register(subparsers) -> None:
 def run(args: argparse.Namespace) -> int:
     deployment = build_deployment(params=TopologyParams(seed=args.seed))
     playbook = Playbook(deployment.topology, deployment, seed=args.seed)
-    print(f"precomputing drain plays at levels {args.levels} ...")
+    logger.info("precomputing drain plays at levels %s ...", args.levels)
     playbook.build_drain_plays(prepend_levels=tuple(args.levels))
 
     baseline = playbook.baseline()

@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 import argparse
+import logging
 
+from repro.cli.common import add_telemetry_arguments, telemetry_session
 from repro.core.scenarios import ScenarioRunner
 from repro.core.techniques import TECHNIQUES, technique_by_name
 from repro.measurement.catchment import anycast_catchment
 from repro.topology.generator import TopologyParams
 from repro.topology.testbed import build_deployment
+
+logger = logging.getLogger(__name__)
 
 
 def _parse_event(text: str):
@@ -40,44 +44,48 @@ def register(subparsers) -> None:
     parser.add_argument("--duration", type=float, default=300.0)
     parser.add_argument("--grace", type=float, default=30.0,
                         help="make-before-break recovery grace (s)")
+    add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
 
 
 def run(args: argparse.Namespace) -> int:
-    deployment = build_deployment(params=TopologyParams(seed=args.seed))
-    if args.site not in deployment.sites:
-        print(f"unknown site {args.site!r}; have {deployment.site_names}")
-        return 2
-    catchment = anycast_catchment(deployment.topology, deployment, seed=args.seed)
-    targets = [n for n, s in catchment.items() if s == args.site][:15]
-    if not targets:
-        print(f"site {args.site!r} has an empty anycast catchment; "
-              "using the default target set")
-        targets = None
+    with telemetry_session(args):
+        deployment = build_deployment(params=TopologyParams(seed=args.seed))
+        if args.site not in deployment.sites:
+            print(f"unknown site {args.site!r}; have {deployment.site_names}")
+            return 2
+        catchment = anycast_catchment(deployment.topology, deployment, seed=args.seed)
+        targets = [n for n, s in catchment.items() if s == args.site][:15]
+        if not targets:
+            logger.warning(
+                "site %r has an empty anycast catchment; using the default target set",
+                args.site,
+            )
+            targets = None
 
-    runner = ScenarioRunner(
-        topology=deployment.topology,
-        deployment=deployment,
-        technique=technique_by_name(args.technique),
-        specific_site=args.site,
-        duration_s=args.duration,
-        bucket_s=10.0,
-        target_nodes=targets,
-        recovery_grace=args.grace,
-        seed=args.seed,
-    )
-    events = args.event or [("fail", args.site, args.duration / 4)]
-    for kind, site, at in events:
-        runner.add_event(at, kind, site)
+        runner = ScenarioRunner(
+            topology=deployment.topology,
+            deployment=deployment,
+            technique=technique_by_name(args.technique),
+            specific_site=args.site,
+            duration_s=args.duration,
+            bucket_s=10.0,
+            target_nodes=targets,
+            recovery_grace=args.grace,
+            seed=args.seed,
+        )
+        events = args.event or [("fail", args.site, args.duration / 4)]
+        for kind, site, at in events:
+            runner.add_event(at, kind, site)
 
-    result = runner.run()
-    availability = result.availability()
-    glyphs = " ._-=^#"
-    spark = "".join(
-        glyphs[min(len(glyphs) - 1, int(v * (len(glyphs) - 1)))] for v in availability
-    )
-    print(f"events: " + ", ".join(f"{e.kind} {e.site}@{e.at:.0f}s" for e in result.events))
-    print(f"availability |{spark}| (one char per {result.bucket_s:.0f}s)")
-    print(f"mean availability: {result.mean_availability():.1%}")
-    print(f"downtime (<50% served): {result.downtime_s():.0f}s")
+        result = runner.run()
+        availability = result.availability()
+        glyphs = " ._-=^#"
+        spark = "".join(
+            glyphs[min(len(glyphs) - 1, int(v * (len(glyphs) - 1)))] for v in availability
+        )
+        print(f"events: " + ", ".join(f"{e.kind} {e.site}@{e.at:.0f}s" for e in result.events))
+        print(f"availability |{spark}| (one char per {result.bucket_s:.0f}s)")
+        print(f"mean availability: {result.mean_availability():.1%}")
+        print(f"downtime (<50% served): {result.downtime_s():.0f}s")
     return 0

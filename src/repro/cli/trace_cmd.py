@@ -1,0 +1,45 @@
+"""``repro trace`` -- work with recorded JSONL traces."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.telemetry import read_jsonl, render_summary, summarize_trace
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "trace", help="inspect a JSONL trace recorded with --trace"
+    )
+    actions = parser.add_subparsers(dest="trace_command", required=True)
+    summarize = actions.add_parser(
+        "summarize",
+        help="per-phase timings, per-router update counts, probe stats",
+    )
+    summarize.add_argument("path", help="JSONL trace file (from --trace PATH)")
+    summarize.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="routers to list in the top-senders table",
+    )
+    summarize.set_defaults(func=run_summarize)
+
+
+def run_summarize(args: argparse.Namespace) -> int:
+    try:
+        events = read_jsonl(args.path)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.path}")
+        return 2
+    except ValueError as error:
+        print(f"unreadable trace: {error}")
+        return 2
+    summary = summarize_trace(events)
+    try:
+        print(render_summary(summary, top=args.top))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; silence the interpreter's
+        # shutdown flush too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0

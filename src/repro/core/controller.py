@@ -17,6 +17,8 @@ from repro.bgp.network import BgpNetwork
 from repro.core.techniques import Technique
 from repro.dns.authoritative import AuthoritativeServer, StaticMapping
 from repro.net.addr import IPv4Prefix
+from repro.telemetry import registry as telemetry_registry
+from repro.telemetry.trace import SiteFailed
 from repro.topology.testbed import CdnDeployment
 
 
@@ -166,6 +168,12 @@ class CdnController:
             raise KeyError(f"unknown site {site!r}")
         node = self.deployment.site_node(site)
         self.down_sites.add(site)
+        # Telemetry first: the failure causally precedes the withdrawals
+        # it triggers, and the trace preserves emission order.
+        telemetry = telemetry_registry.current()
+        if telemetry.enabled:
+            telemetry.inc("controller.site_failures")
+            telemetry.emit(SiteFailed(t=self.network.now, site=site, silent=False))
         withdrawn = tuple(self.network.withdraw_all(node))
         event = FailureEvent(
             site=site,
@@ -191,6 +199,10 @@ class CdnController:
             raise KeyError(f"unknown site {site!r}")
         node = self.deployment.site_node(site)
         self.down_sites.add(site)
+        telemetry = telemetry_registry.current()
+        if telemetry.enabled:
+            telemetry.inc("controller.site_failures")
+            telemetry.emit(SiteFailed(t=self.network.now, site=site, silent=True))
         pending = tuple(self.network.routers[node].originated_prefixes())
         event = FailureEvent(
             site=site,

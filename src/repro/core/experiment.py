@@ -34,6 +34,7 @@ from repro.dataplane.ping import Prober
 from repro.measurement.catchment import anycast_catchment
 from repro.measurement.hitlist import Hitlist, TargetSelection, select_targets
 from repro.net.addr import IPv4Address
+from repro.telemetry import registry as telemetry_registry
 from repro.topology.generator import Topology
 from repro.topology.testbed import (
     PROBE_SOURCE,
@@ -181,51 +182,63 @@ class FailoverExperiment:
     def run_site(self, technique: Technique, site: str) -> SiteFailoverResult:
         """Fail ``site`` under ``technique`` and measure every target."""
         config = self.config
+        telemetry = telemetry_registry.current()
+        # Each run gets a fresh network; drop any previous run's clock so
+        # phase timestamps restart from this run's engine epoch.
+        telemetry.bind_clock(None)
+        tags = {"technique": technique.name, "site": site}
         # str hashes are salted per process; crc32 keeps runs reproducible.
         run_tag = zlib.crc32(f"{technique.name}/{site}".encode())
         run_seed = (config.seed * 1000003) ^ run_tag
-        network = self.topology.build_network(
-            seed=run_seed, timing=config.timing, damping=config.damping
-        )
-        controller = CdnController(
-            network=network,
-            deployment=self.deployment,
-            technique=technique,
-            prefix=SPECIFIC_PREFIX,
-            superprefix=SUPERPREFIX,
-            detection_delay=config.detection_delay,
-        )
-        controller.deploy(site)
-        network.converge()
+        with telemetry.phase("deploy-converge", **tags):
+            network = self.topology.build_network(
+                seed=run_seed, timing=config.timing, damping=config.damping
+            )
+            controller = CdnController(
+                network=network,
+                deployment=self.deployment,
+                technique=technique,
+                prefix=SPECIFIC_PREFIX,
+                superprefix=SUPERPREFIX,
+                detection_delay=config.detection_delay,
+            )
+            controller.deploy(site)
+            network.converge()
 
-        selection = self.selection_for(site, mode=technique.selection_mode)
-        plane = ForwardingPlane(network, self.topology)
-        capture = SiteCapture()
-        vantage = next(s for s in self.deployment.site_names if s != site)
-        prober = Prober(plane, self.deployment, capture, PROBE_SOURCE, vantage)
+        # The clock guard keeps the run network's engine bound as the
+        # trace clock: target selection builds throwaway networks
+        # (catchment, hitlist) that would otherwise steal the binding.
+        with telemetry.phase("select-targets", **tags), telemetry.clock_guard():
+            selection = self.selection_for(site, mode=technique.selection_mode)
+            plane = ForwardingPlane(network, self.topology)
+            capture = SiteCapture()
+            vantage = next(s for s in self.deployment.site_names if s != site)
+            prober = Prober(plane, self.deployment, capture, PROBE_SOURCE, vantage)
 
-        # Step 3: pre-failure reachability -> controllable targets.
-        controllable: dict[IPv4Address, str] = {}
-        for address, node in selection.targets.items():
-            result = plane.snapshot_path(node, PROBE_SOURCE)
-            if result.delivered and self.deployment.site_of_node(result.delivered_to) == site:
-                controllable[address] = node
+            # Step 3: pre-failure reachability -> controllable targets.
+            controllable: dict[IPv4Address, str] = {}
+            for address, node in selection.targets.items():
+                result = plane.snapshot_path(node, PROBE_SOURCE)
+                if result.delivered and self.deployment.site_of_node(result.delivered_to) == site:
+                    controllable[address] = node
 
         # Step 4: fail the site, probe the controllable targets. The
         # failed site is dead on the data plane: replies that stale FIBs
         # still steer there are lost, not captured.
-        if config.silent_failure:
-            event = controller.fail_site_silently(site)
-        else:
-            event = controller.fail_site(site)
-        prober.dead_sites.add(site)
-        capture.clear()
-        prober.start(
-            controllable, interval=config.probe_interval, duration=config.probe_duration
-        )
-        network.run_for(config.probe_duration + config.drain_slack)
+        with telemetry.phase("fail-probe", **tags):
+            if config.silent_failure:
+                event = controller.fail_site_silently(site)
+            else:
+                event = controller.fail_site(site)
+            prober.dead_sites.add(site)
+            capture.clear()
+            prober.start(
+                controllable, interval=config.probe_interval, duration=config.probe_duration
+            )
+            network.run_for(config.probe_duration + config.drain_slack)
 
-        outcomes = outcomes_for_run(prober.logs, capture, site, event.failed_at)
+        with telemetry.phase("analyze", **tags):
+            outcomes = outcomes_for_run(prober.logs, capture, site, event.failed_at)
         return SiteFailoverResult(
             technique=technique.name,
             site=site,

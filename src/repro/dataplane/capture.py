@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.net.addr import IPv4Address
+from repro.telemetry import registry as telemetry_registry
+from repro.telemetry.trace import SiteSwitched
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,8 +30,22 @@ class SiteCapture:
 
     def __init__(self) -> None:
         self.entries: list[CaptureEntry] = []
+        #: last site each target's replies arrived at (site-switch telemetry)
+        self._last_site: dict[IPv4Address, str] = {}
+        self._telemetry = telemetry_registry.current()
 
     def record(self, time: float, site: str, target: IPv4Address, seq: int) -> None:
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            previous = self._last_site.get(target)
+            if previous is not None and previous != site:
+                telemetry.inc("probe.site_switches")
+                telemetry.emit(
+                    SiteSwitched(
+                        t=time, target=str(target), from_site=previous, to_site=site
+                    )
+                )
+            self._last_site[target] = site
         self.entries.append(CaptureEntry(time, site, target, seq))
 
     def for_target(self, target: IPv4Address) -> list[CaptureEntry]:
@@ -44,3 +60,4 @@ class SiteCapture:
 
     def clear(self) -> None:
         self.entries.clear()
+        self._last_site.clear()

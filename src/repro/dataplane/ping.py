@@ -20,6 +20,8 @@ from repro.dataplane.capture import SiteCapture
 from repro.dataplane.forwarding import ForwardingPlane, ForwardResult
 from repro.net.addr import IPv4Address
 from repro.net.packet import IcmpEcho, IcmpEchoReply
+from repro.telemetry import registry as telemetry_registry
+from repro.telemetry.trace import ProbeReply, ProbeSent
 from repro.topology.testbed import CdnDeployment
 
 
@@ -69,6 +71,7 @@ class Prober:
         #: failed sites: a reply forwarded to one of these is lost, since
         #: the site is down even while stale FIB entries still point at it
         self.dead_sites: set[str] = set()
+        self._telemetry = telemetry_registry.current()
 
     # ------------------------------------------------------------------
 
@@ -82,6 +85,10 @@ class Prober:
         self._seq += 1
         seq = self._seq
         log.sent.append(SentProbe(target=target, seq=seq, sent_at=engine.now))
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.inc("probe.sent")
+            telemetry.emit(ProbeSent(t=engine.now, target=str(target), seq=seq))
         vantage_node = self.deployment.site_node(self.vantage_site)
         latency = self.plane.latency_to_client(vantage_node, target_node)
         if latency is None:
@@ -96,15 +103,27 @@ class Prober:
         )
 
     def _reply_done(self, reply: IcmpEchoReply, result: ForwardResult) -> None:
+        telemetry = self._telemetry
         if not result.delivered:
             self.lost_replies.append(result)
+            if telemetry.enabled:
+                telemetry.inc("probe.replies_lost")
             return
         site = self.deployment.site_of_node(result.delivered_to)
         if site is None or site in self.dead_sites:
             # Delivered to a non-site node (someone else's covering
             # prefix) or to a site that is down: the reply is lost.
             self.lost_replies.append(result)
+            if telemetry.enabled:
+                telemetry.inc("probe.replies_lost")
             return
+        if telemetry.enabled:
+            telemetry.inc("probe.replies")
+            telemetry.emit(
+                ProbeReply(
+                    t=result.completed_at, target=str(reply.src), seq=reply.seq, site=site
+                )
+            )
         self.capture.record(result.completed_at, site, reply.src, reply.seq)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,44 @@
+"""Stdlib logging setup for the ``repro`` package.
+
+Diagnostic chatter ("computing anycast catchment ...") belongs on
+stderr behind a verbosity flag, not interleaved with result tables on
+stdout. Modules log through the usual ``logging.getLogger(__name__)``
+and the CLI calls :func:`configure` once, driven by ``-v`` counts::
+
+    repro failover ...        # WARNING and up
+    repro -v failover ...     # + INFO  (progress messages)
+    repro -vv failover ...    # + DEBUG
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+#: the package-root logger every repro module hangs off
+ROOT_LOGGER = "repro"
+
+_LEVELS = {0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+
+
+def configure(verbosity: int = 0, stream: TextIO | None = None) -> logging.Logger:
+    """Install a stderr handler on the ``repro`` logger (idempotent).
+
+    ``verbosity`` is the ``-v`` count: 0 = WARNING, 1 = INFO, >= 2 =
+    DEBUG. Calling again replaces the previous handler, so tests can
+    reconfigure freely.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(_LEVELS.get(min(verbosity, 2), logging.DEBUG))
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_installed", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    handler._repro_installed = True
+    logger.addHandler(handler)
+    # Messages stay on our handler; the root logger's lastResort handler
+    # would otherwise double-print warnings.
+    logger.propagate = False
+    return logger

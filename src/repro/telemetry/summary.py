@@ -1,0 +1,157 @@
+"""Turn a recorded trace into per-phase / per-router breakdowns.
+
+This is the analysis half of ``repro trace summarize``: pure functions
+from a list of :class:`~repro.telemetry.trace.TraceEvent` to plain-data
+summaries, so tests and other tools can reuse them without going through
+the CLI.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+
+from repro.telemetry.trace import (
+    BgpUpdateSent,
+    PhaseEnd,
+    ProbeReply,
+    ProbeSent,
+    SiteFailed,
+    SiteSwitched,
+    TraceEvent,
+)
+
+
+@dataclass(slots=True)
+class PhaseSummary:
+    """Aggregated timings for one phase name across its executions."""
+
+    name: str
+    runs: int = 0
+    wall_s: float = 0.0
+    sim_s: float = 0.0
+
+    @property
+    def mean_wall_s(self) -> float:
+        return self.wall_s / self.runs if self.runs else 0.0
+
+
+@dataclass(slots=True)
+class TraceSummary:
+    """Everything ``repro trace summarize`` reports."""
+
+    total_events: int = 0
+    #: event kind -> count
+    kinds: dict[str, int] = field(default_factory=dict)
+    #: first/last simulated timestamp seen
+    t_first: float = 0.0
+    t_last: float = 0.0
+    #: phase name -> aggregated timings (insertion = first-seen order)
+    phases: dict[str, PhaseSummary] = field(default_factory=dict)
+    #: sending router -> updates put on the wire
+    updates_by_sender: dict[str, int] = field(default_factory=dict)
+    #: "announce"/"withdraw" split
+    updates_by_type: dict[str, int] = field(default_factory=dict)
+    #: site failures in timeline order: (t, site, silent)
+    site_failures: list[tuple[float, str, bool]] = field(default_factory=list)
+    probes_sent: int = 0
+    probe_replies: int = 0
+    #: serving site -> replies captured there
+    replies_by_site: dict[str, int] = field(default_factory=dict)
+    site_switches: int = 0
+
+
+def summarize_trace(events: list[TraceEvent]) -> TraceSummary:
+    summary = TraceSummary()
+    summary.total_events = len(events)
+    kinds: TallyCounter[str] = TallyCounter()
+    senders: TallyCounter[str] = TallyCounter()
+    update_types: TallyCounter[str] = TallyCounter()
+    reply_sites: TallyCounter[str] = TallyCounter()
+    times = [event.t for event in events]
+    if times:
+        summary.t_first = min(times)
+        summary.t_last = max(times)
+    for event in events:
+        kinds[event.kind] += 1
+        if isinstance(event, PhaseEnd):
+            phase = summary.phases.get(event.name)
+            if phase is None:
+                phase = summary.phases[event.name] = PhaseSummary(event.name)
+            phase.runs += 1
+            phase.wall_s += event.wall_s
+            phase.sim_s += event.sim_s
+        elif isinstance(event, BgpUpdateSent):
+            senders[event.sender] += 1
+            update_types[event.update] += 1
+        elif isinstance(event, SiteFailed):
+            summary.site_failures.append((event.t, event.site, event.silent))
+        elif isinstance(event, ProbeSent):
+            summary.probes_sent += 1
+        elif isinstance(event, ProbeReply):
+            summary.probe_replies += 1
+            reply_sites[event.site] += 1
+        elif isinstance(event, SiteSwitched):
+            summary.site_switches += 1
+    summary.kinds = dict(kinds)
+    summary.updates_by_sender = dict(senders)
+    summary.updates_by_type = dict(update_types)
+    summary.replies_by_site = dict(reply_sites)
+    return summary
+
+
+def render_summary(summary: TraceSummary, top: int = 10) -> str:
+    """Format a summary as the ``repro trace summarize`` report."""
+    lines: list[str] = []
+    lines.append(
+        f"{summary.total_events} events over simulated "
+        f"[{summary.t_first:.1f}s, {summary.t_last:.1f}s]"
+    )
+
+    lines.append("")
+    lines.append("events by kind:")
+    for kind, count in sorted(summary.kinds.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {kind:18s} {count}")
+
+    if summary.phases:
+        lines.append("")
+        lines.append("phase timings (wall = host seconds, sim = simulated seconds):")
+        lines.append(f"  {'phase':22s} {'runs':>5s} {'wall total':>11s} {'wall mean':>10s} {'sim total':>10s}")
+        for phase in summary.phases.values():
+            lines.append(
+                f"  {phase.name:22s} {phase.runs:5d} {phase.wall_s:10.3f}s "
+                f"{phase.mean_wall_s:9.3f}s {phase.sim_s:9.1f}s"
+            )
+
+    if summary.site_failures:
+        lines.append("")
+        lines.append("site failures:")
+        for t, site, silent in summary.site_failures:
+            lines.append(f"  t={t:8.1f}s {site}" + ("  (silent)" if silent else ""))
+
+    if summary.updates_by_type:
+        lines.append("")
+        split = ", ".join(
+            f"{count} {kind}" for kind, count in sorted(summary.updates_by_type.items())
+        )
+        lines.append(f"BGP updates on the wire: {split}")
+        lines.append(f"top senders (of {len(summary.updates_by_sender)} routers):")
+        ranked = sorted(summary.updates_by_sender.items(), key=lambda kv: -kv[1])
+        for node, count in ranked[:top]:
+            lines.append(f"  {node:18s} {count}")
+        if len(ranked) > top:
+            lines.append(f"  ... {len(ranked) - top} more")
+
+    if summary.probes_sent or summary.probe_replies:
+        lines.append("")
+        rate = (
+            summary.probe_replies / summary.probes_sent if summary.probes_sent else 0.0
+        )
+        lines.append(
+            f"probes: {summary.probes_sent} sent, {summary.probe_replies} replies "
+            f"({rate:.1%}), {summary.site_switches} site switches"
+        )
+        for site, count in sorted(summary.replies_by_site.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  replies at {site:12s} {count}")
+
+    return "\n".join(lines)

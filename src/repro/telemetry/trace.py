@@ -1,0 +1,254 @@
+"""Structured trace events and their recorder.
+
+A trace is an append-only sequence of typed events, each stamped with
+the *simulated* time it happened at (``EventEngine.now``), so a recorded
+failover run can be replayed analytically: which withdrawals left when,
+when each router's FIB moved, when the first reply surfaced at a
+surviving site. Events serialize to one JSON object per line (JSONL) and
+parse back into the same dataclasses, so traces survive a process
+boundary (``repro failover --trace out.jsonl`` then ``repro trace
+summarize out.jsonl``).
+
+The recorder has two storage modes: unbounded (experiments that will be
+exported) and a bounded ring buffer that keeps only the newest N events
+(long soak runs where only the recent past matters); evicted events are
+counted, never silently forgotten.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import ClassVar, Iterable, Iterator, Type, TypeVar
+
+E = TypeVar("E", bound="TraceEvent")
+
+#: kind string -> event class, populated by ``_register``
+EVENT_TYPES: dict[str, Type["TraceEvent"]] = {}
+
+
+def _register(cls: Type[E]) -> Type[E]:
+    EVENT_TYPES[cls.kind] = cls
+    return cls
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base event: ``t`` is simulated seconds since the engine epoch."""
+
+    kind: ClassVar[str] = "event"
+
+    t: float
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["kind"] = self.kind
+        return data
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class BgpUpdateSent(TraceEvent):
+    """An update left a session (post-MRAI, on the wire)."""
+
+    kind: ClassVar[str] = "bgp_update_sent"
+
+    sender: str
+    receiver: str
+    prefix: str
+    update: str  # "announce" | "withdraw"
+    as_path_len: int = 0
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class RouteSelected(TraceEvent):
+    """A router's decision process picked a new best path (or none)."""
+
+    kind: ClassVar[str] = "route_selected"
+
+    node: str
+    prefix: str
+    via: str | None  # neighbor the best route was learned from; None = local/withdrawn
+    as_path_len: int = 0
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class FibInstalled(TraceEvent):
+    """A best-path change reached the forwarding plane."""
+
+    kind: ClassVar[str] = "fib_installed"
+
+    node: str
+    prefix: str
+    next_hop: str | None  # None = route removed
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class FlapDamped(TraceEvent):
+    """RFC 2439 damping started suppressing a (prefix, neighbor)."""
+
+    kind: ClassVar[str] = "flap_damped"
+
+    node: str
+    prefix: str
+    neighbor: str
+    penalty: float
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class ProbeSent(TraceEvent):
+    """One echo request left the vantage site."""
+
+    kind: ClassVar[str] = "probe_sent"
+
+    target: str
+    seq: int
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class ProbeReply(TraceEvent):
+    """An echo reply landed at a live site's capture."""
+
+    kind: ClassVar[str] = "probe_reply"
+
+    target: str
+    seq: int
+    site: str
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class SiteSwitched(TraceEvent):
+    """A target's replies moved from one serving site to another."""
+
+    kind: ClassVar[str] = "site_switched"
+
+    target: str
+    from_site: str
+    to_site: str
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class SiteFailed(TraceEvent):
+    """The controller failed a site (the experiment's t=0 for failover)."""
+
+    kind: ClassVar[str] = "site_failed"
+
+    site: str
+    silent: bool = False
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class PhaseStart(TraceEvent):
+    kind: ClassVar[str] = "phase_start"
+
+    name: str
+    tags: dict = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class PhaseEnd(TraceEvent):
+    kind: ClassVar[str] = "phase_end"
+
+    name: str
+    #: host wall-clock seconds the phase took to execute
+    wall_s: float = 0.0
+    #: simulated seconds that elapsed inside the phase
+    sim_s: float = 0.0
+    tags: dict = field(default_factory=dict)
+
+
+def event_from_dict(data: dict) -> TraceEvent:
+    """Rebuild a typed event from its JSONL dictionary."""
+    kind = data.get("kind")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown trace event kind {kind!r}")
+    names = {f.name for f in fields(cls)}
+    kwargs = {key: value for key, value in data.items() if key in names}
+    return cls(**kwargs)
+
+
+class TraceRecorder:
+    """Collects trace events, optionally in a bounded ring buffer.
+
+    ``capacity=None`` keeps everything; a positive capacity keeps only
+    the newest ``capacity`` events and counts the evicted ones in
+    :attr:`dropped`.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        #: total events ever recorded (including evicted ones)
+        self.recorded = 0
+
+    def record(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.recorded += 1
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer."""
+        return self.recorded - len(self._events)
+
+    def events_of(self, cls: Type[E]) -> list[E]:
+        return [e for e in self._events if isinstance(e, cls)]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    # ------------------------------------------------------------------
+    # JSONL persistence
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Write one JSON object per event; returns the event count."""
+        return write_jsonl(path, self._events)
+
+
+def write_jsonl(path: str | Path, events: Iterable[TraceEvent]) -> int:
+    count = 0
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Parse a JSONL trace back into typed events (blank lines skipped)."""
+    events: list[TraceEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_no}: invalid JSON") from error
+            events.append(event_from_dict(data))
+    return events

@@ -99,3 +99,47 @@ class TestRunControl:
             engine.schedule(1.0, lambda: None)
         engine.run_until_idle()
         assert engine.processed == 5
+
+
+class TestCallbackErrorGuardRail:
+    def test_raising_callback_wrapped_with_context(self):
+        from repro.bgp.engine import CallbackError
+
+        engine = EventEngine()
+
+        def explode():
+            raise KeyError("missing prefix")
+
+        engine.schedule(2.5, explode)
+        with pytest.raises(CallbackError) as excinfo:
+            engine.run_until_idle()
+        error = excinfo.value
+        assert error.when == 2.5
+        assert error.callback is explode
+        assert "t=2.500000s" in str(error)
+        assert "explode" in str(error)
+        assert isinstance(error.__cause__, KeyError)
+
+    def test_wrapped_with_telemetry_enabled(self):
+        from repro import telemetry
+        from repro.bgp.engine import CallbackError
+
+        with telemetry.using(telemetry.Telemetry()):
+            engine = EventEngine()
+            engine.schedule(1.0, lambda: None)
+
+            def explode():
+                raise RuntimeError("boom")
+
+            engine.schedule(2.0, explode)
+            with pytest.raises(CallbackError) as excinfo:
+                engine.run_until_idle()
+        assert excinfo.value.when == 2.0
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_healthy_callbacks_unaffected(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(engine.now))
+        engine.run_until_idle()
+        assert seen == [1.0]

@@ -153,3 +153,57 @@ class TestExtendedCommands:
         ])
         assert code == 0
         assert "silent failure" in capsys.readouterr().out
+
+
+class TestTelemetryFlags:
+    def test_failover_trace_and_summarize(self, capsys, tmp_path):
+        trace = tmp_path / "out.jsonl"
+        code = main([
+            "failover", "-t", "anycast", "-s", "msn",
+            "--targets", "4", "--duration", "60", "--trace", str(trace),
+        ])
+        assert code == 0
+        assert trace.exists()
+        capsys.readouterr()
+
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "phase timings" in out
+        assert "fail-probe" in out
+        assert "BGP updates" in out
+        assert "site failures" in out
+
+    def test_failover_metrics_dump(self, capsys):
+        code = main([
+            "failover", "-t", "anycast", "-s", "msn",
+            "--targets", "4", "--duration", "60", "--metrics",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Results first, then the metrics dump.
+        assert "bgp.updates_sent" in out
+        assert out.index("failover:") < out.index("bgp.updates_sent")
+
+    def test_trace_limit_bounds_recorder(self, capsys, tmp_path):
+        trace = tmp_path / "bounded.jsonl"
+        code = main([
+            "failover", "-t", "anycast", "-s", "msn",
+            "--targets", "4", "--duration", "60",
+            "--trace", str(trace), "--trace-limit", "50",
+        ])
+        assert code == 0
+        lines = [l for l in trace.read_text().splitlines() if l.strip()]
+        assert len(lines) == 50
+
+    def test_summarize_missing_file(self, capsys, tmp_path):
+        assert main(["trace", "summarize", str(tmp_path / "missing.jsonl")]) == 2
+
+    def test_summarize_invalid_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace", "summarize", str(bad)]) == 2
+
+    def test_verbose_flag_parses(self):
+        args = build_parser().parse_args(["-vv", "topology"])
+        assert args.verbose == 2
+        assert build_parser().parse_args(["topology"]).verbose == 0
