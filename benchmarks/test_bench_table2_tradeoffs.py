@@ -15,7 +15,6 @@ from repro.core.techniques import (
     ProactivePrepending,
     ProactiveSuperprefix,
     ReactiveAnycast,
-    Unicast,
     technique_by_name,
 )
 from repro.core.unicast_failover import UnicastFailoverConfig, simulate_unicast_failover

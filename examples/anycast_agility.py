@@ -33,7 +33,7 @@ def main() -> None:
         (site for site, _ in baseline.catchment),
         key=lambda s: baseline.load_share(s),
     )
-    print(f"\nbaseline catchment shares:")
+    print("\nbaseline catchment shares:")
     for site, count in baseline.catchment:
         marker = "  <-- hotspot" if site == hot_site else ""
         print(f"  {site:6s} {baseline.load_share(site):6.1%} ({count} clients){marker}")

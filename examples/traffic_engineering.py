@@ -20,7 +20,7 @@ from repro.dataplane.forwarding import ForwardingPlane
 from repro.dns.authoritative import AuthoritativeServer, StaticMapping
 from repro.measurement.catchment import anycast_catchment
 from repro.measurement.control import measure_control
-from repro.topology.testbed import PROBE_SOURCE, SPECIFIC_PREFIX, SUPERPREFIX
+from repro.topology.testbed import SPECIFIC_PREFIX, SUPERPREFIX
 
 
 def main() -> None:

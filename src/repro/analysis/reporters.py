@@ -1,0 +1,35 @@
+"""Finding reporters: text for humans, JSON for machines."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One ``path:line:col: CODE severity: message`` line per finding,
+    followed by a count summary."""
+    findings = list(findings)
+    lines = [finding.format() for finding in findings]
+    errors = sum(1 for f in findings if f.severity.blocking)
+    warnings = len(findings) - errors
+    if findings:
+        lines.append(f"{len(findings)} finding(s): {errors} error(s), {warnings} warning(s)")
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """A JSON document with the finding list and severity tallies."""
+    findings = list(findings)
+    errors = sum(1 for f in findings if f.severity.blocking)
+    payload = {
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+        "errors": errors,
+        "warnings": len(findings) - errors,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,352 @@
+"""Determinism lint rules (the ``DET`` series).
+
+Each rule targets one hazard class that can silently corrupt the
+simulator's determinism guarantee: the same seed must always produce the
+same event sequence, across processes and machines. Rules are small AST
+pattern matchers registered in :data:`RULES`; the engine in
+:mod:`repro.analysis.linter` drives them over every file in one pass.
+
+A rule fires :class:`~repro.analysis.findings.Finding` objects with its
+stable code; occurrences can be suppressed in source with
+``# repro: noqa[CODE]`` (see :mod:`repro.analysis.linter`).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass
+from typing import ClassVar, Iterator
+
+from repro.analysis.findings import Finding, Severity
+
+
+@dataclass(frozen=True, slots=True)
+class LintContext:
+    """Per-file state handed to every rule."""
+
+    path: str
+    #: path components, used for rule-level path exemptions
+    path_parts: tuple[str, ...]
+
+
+#: registry of rule code -> rule class, in registration order
+RULES: dict[str, "type[LintRule]"] = {}
+
+
+def register(cls: "type[LintRule]") -> "type[LintRule]":
+    """Class decorator adding a rule to :data:`RULES`."""
+    if cls.code in RULES:
+        raise ValueError(f"duplicate lint rule code {cls.code!r}")
+    RULES[cls.code] = cls
+    return cls
+
+
+class LintRule(abc.ABC):
+    """One determinism hazard detector.
+
+    Subclasses declare the AST node types they inspect; the engine calls
+    :meth:`check` for each matching node in the file.
+    """
+
+    #: stable finding code, e.g. ``DET001``
+    code: ClassVar[str]
+    #: short kebab-case name used in ``--select``/``--ignore``
+    name: ClassVar[str]
+    #: one-line description shown by ``repro lint --list-rules``
+    summary: ClassVar[str]
+    severity: ClassVar[Severity] = Severity.ERROR
+    node_types: ClassVar[tuple[type, ...]] = ()
+    #: skip files whose path contains any of these parts (e.g. the
+    #: telemetry layer is allowed to read the wall clock)
+    exempt_path_parts: ClassVar[frozenset[str]] = frozenset()
+
+    @abc.abstractmethod
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        """Yield findings for ``node`` (already type-filtered)."""
+
+    def finding(self, node: ast.AST, ctx: LintContext, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            message=message,
+            severity=self.severity,
+            source=ctx.path,
+            line=getattr(node, "lineno", None),
+            col=getattr(node, "col_offset", None),
+        )
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_random_class(func: ast.AST) -> bool:
+    """True for ``random.Random`` / ``Random`` / ``SystemRandom`` refs."""
+    dotted = _dotted_name(func)
+    return dotted in ("random.Random", "Random", "random.SystemRandom", "SystemRandom")
+
+
+def _call_args(node: ast.Call) -> Iterator[ast.AST]:
+    yield from node.args
+    for keyword in node.keywords:
+        yield keyword.value
+
+
+# ----------------------------------------------------------------------
+# Rules
+
+
+@register
+class UnseededRandom(LintRule):
+    """``random.Random()`` with no seed draws entropy from the OS."""
+
+    code = "DET001"
+    name = "unseeded-random"
+    summary = "random.Random() constructed without an explicit seed"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if _is_random_class(node.func) and not node.args and not node.keywords:
+            yield self.finding(
+                node, ctx,
+                "random.Random() without a seed is nondeterministic; "
+                "pass an explicit seed (or thread an existing rng through)",
+            )
+
+
+#: module-level functions of :mod:`random` that use the hidden global RNG
+_MODULE_RANDOM_FNS = frozenset({
+    "random", "uniform", "triangular", "randint", "randrange", "getrandbits",
+    "choice", "choices", "sample", "shuffle", "seed", "betavariate",
+    "expovariate", "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "paretovariate", "vonmisesvariate", "weibullvariate", "randbytes",
+})
+
+
+@register
+class ModuleLevelRandom(LintRule):
+    """Calls into :mod:`random`'s hidden global RNG."""
+
+    code = "DET002"
+    name = "module-random"
+    summary = "module-level random.* call shares the hidden global RNG"
+
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr in _MODULE_RANDOM_FNS
+        ):
+            yield self.finding(
+                node, ctx,
+                f"random.{func.attr}() uses the process-global RNG, whose state "
+                "any import can perturb; use a seeded random.Random instance",
+            )
+
+
+@register
+class HashDerivedSeed(LintRule):
+    """``hash()`` feeding a seed varies across processes."""
+
+    code = "DET003"
+    name = "hash-seed"
+    summary = "hash()-derived seed varies across processes (PYTHONHASHSEED)"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        is_seed_sink = _is_random_class(func) or (
+            isinstance(func, ast.Attribute) and func.attr == "seed"
+        )
+        if not is_seed_sink:
+            return
+        for arg in _call_args(node):
+            for sub in ast.walk(arg):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "hash"
+                ):
+                    yield self.finding(
+                        sub, ctx,
+                        "hash() is salted per process (PYTHONHASHSEED) and must "
+                        "not derive a seed; use a stable digest such as zlib.crc32",
+                    )
+
+
+#: dotted call names that read the wall clock
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today", "date.today",
+})
+
+
+@register
+class WallClockRead(LintRule):
+    """Wall-clock reads outside the telemetry layer.
+
+    Simulation logic must take time from the :class:`EventEngine` clock;
+    wall-clock values leaking into event scheduling or results make runs
+    irreproducible. The telemetry layer measures real elapsed time by
+    design and is exempt.
+    """
+
+    code = "DET004"
+    name = "wall-clock"
+    summary = "wall-clock read (time.time/datetime.now/...) outside telemetry"
+    node_types = (ast.Call,)
+    exempt_path_parts = frozenset({"telemetry"})
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        dotted = _dotted_name(node.func)
+        if dotted in _WALL_CLOCK_CALLS:
+            yield self.finding(
+                node, ctx,
+                f"{dotted}() reads the wall clock; simulation code must use "
+                "the engine's simulated clock (telemetry code is exempt)",
+            )
+
+
+@register
+class SetIterationOrder(LintRule):
+    """Iterating a set lets hash order leak into event order."""
+
+    code = "DET005"
+    name = "set-iteration"
+    summary = "iteration over a bare set leaks hash order into scheduling"
+    node_types = (ast.For, ast.AsyncFor, ast.comprehension)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        iter_node = node.iter  # type: ignore[union-attr]
+        is_set = isinstance(iter_node, ast.Set) or (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id in ("set", "frozenset")
+        )
+        if is_set:
+            yield self.finding(
+                iter_node, ctx,
+                "iterating a set yields hash order, which PYTHONHASHSEED "
+                "reshuffles per process; wrap the set in sorted()",
+            )
+
+
+#: attribute names whose values carry simulated timestamps (``event.t``)
+_TIME_ATTRS = frozenset({"now", "t", "at", "time", "timestamp"})
+#: bare variable names that are unambiguously timestamps; ``t`` and
+#: ``time`` are excluded here because they are common generic names
+_TIME_NAMES = frozenset({"now", "at", "timestamp"})
+_TIME_SUFFIXES = ("_at", "_time", "_timestamp")
+
+
+def _looks_like_timestamp(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _TIME_NAMES or node.id.endswith(_TIME_SUFFIXES)
+    if isinstance(node, ast.Attribute):
+        return node.attr in _TIME_ATTRS or node.attr.endswith(_TIME_SUFFIXES)
+    return False
+
+
+@register
+class FloatTimeEquality(LintRule):
+    """``==`` on simulated timestamps is float-precision roulette."""
+
+    code = "DET006"
+    name = "float-time-eq"
+    summary = "== / != comparison on simulated-time values"
+    severity = Severity.WARNING
+    node_types = (ast.Compare,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            # `x == None`-style literal comparisons are not time math.
+            if isinstance(left, ast.Constant) or isinstance(right, ast.Constant):
+                continue
+            if _looks_like_timestamp(left) or _looks_like_timestamp(right):
+                yield self.finding(
+                    node, ctx,
+                    "exact equality on simulated timestamps breaks under float "
+                    "arithmetic; compare with a tolerance or use <=/>= windows",
+                )
+                return
+
+
+@register
+class MutableDefaultArgument(LintRule):
+    """Mutable default arguments are shared across calls."""
+
+    code = "DET007"
+    name = "mutable-default"
+    summary = "mutable default argument shared across calls"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        args = node.args  # type: ignore[union-attr]
+        for default in (*args.defaults, *args.kw_defaults):
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "bytearray")
+            )
+            if mutable:
+                yield self.finding(
+                    default, ctx,
+                    "mutable default argument is created once and shared by "
+                    "every call; default to None and construct inside",
+                )
+
+
+def all_rules() -> list[LintRule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in RULES.values()]
+
+
+def resolve_codes(tokens: list[str]) -> set[str]:
+    """Map a user-supplied list of codes/names to rule codes.
+
+    Accepts either the ``DETnnn`` code or the kebab-case rule name;
+    raises ``ValueError`` for anything unknown.
+    """
+    by_name = {cls.name: code for code, cls in RULES.items()}
+    resolved: set[str] = set()
+    for token in tokens:
+        token = token.strip()
+        if not token:
+            continue
+        code = token.upper() if token.upper() in RULES else by_name.get(token.lower())
+        if code is None:
+            raise ValueError(
+                f"unknown lint rule {token!r}; have {sorted(RULES)} "
+                f"(or names {sorted(by_name)})"
+            )
+        resolved.add(code)
+    return resolved

@@ -14,12 +14,15 @@
     repro configgen -t proactive-prepending -o configs/
     repro failover --trace out.jsonl   # record a structured trace
     repro trace summarize out.jsonl    # per-phase/per-router breakdown
+    repro lint src/repro               # determinism linter (DET rules)
 
 Every command accepts ``--seed`` and the experiment ones accept scale
 knobs, so results are reproducible and tunable without code. ``-v``
 turns on INFO-level diagnostics (``-vv`` for DEBUG) on stderr; the
 experiment commands accept ``--trace``/``--metrics`` (see
-``docs/observability.md``).
+``docs/observability.md``) and run semantic pre-flight validation
+before any event fires (``--no-preflight`` overrides; see
+``docs/static-analysis.md``).
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from repro.cli import (
     control,
     drill,
     failover,
+    lint_cmd,
     playbook_cmd,
     scenario,
     topology_cmd,
@@ -67,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
         scenario,
         configgen_cmd,
         trace_cmd,
+        lint_cmd,
     ):
         module.register(subparsers)
     return parser

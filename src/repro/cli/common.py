@@ -1,4 +1,4 @@
-"""Shared CLI helpers: telemetry flags and session management.
+"""Shared CLI helpers: telemetry flags, sessions, and pre-flight checks.
 
 Every experiment subcommand (``failover``, ``compare``, ``drill``,
 ``scenario``) accepts the same observability flags::
@@ -10,6 +10,11 @@ Every experiment subcommand (``failover``, ``compare``, ``drill``,
 :func:`telemetry_session` turns those into an installed
 :class:`~repro.telemetry.Telemetry` for the duration of the command and
 handles the export on the way out.
+
+The same commands run the semantic pre-flight validator
+(:mod:`repro.analysis.preflight`) before any event fires;
+:func:`run_preflight` prints its findings and refuses the run on ERROR
+findings unless ``--no-preflight`` was given.
 """
 
 from __future__ import annotations
@@ -46,6 +51,42 @@ def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
         "--metrics", action="store_true",
         help="print counters and timing histograms after the run",
     )
+
+
+def add_preflight_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-preflight", action="store_true",
+        help="skip the semantic pre-flight validation (run even on errors)",
+    )
+
+
+def run_preflight(args: argparse.Namespace, deployment, **kwargs) -> bool:
+    """Validate an experiment before running it.
+
+    ``kwargs`` are forwarded to
+    :func:`repro.analysis.preflight.preflight_run`. Findings go to
+    stderr. Returns False (the command should exit with status 2) when
+    blocking findings exist and ``--no-preflight`` was not given.
+    """
+    from repro.analysis import preflight_run
+
+    report = preflight_run(deployment, **kwargs)
+    for finding in report.findings:
+        print(f"preflight: {finding.format()}", file=sys.stderr)
+    if report.ok:
+        return True
+    if getattr(args, "no_preflight", False):
+        print(
+            f"preflight: {len(report.errors)} error(s) overridden by --no-preflight",
+            file=sys.stderr,
+        )
+        return True
+    print(
+        f"preflight: refusing to run with {len(report.errors)} error(s); "
+        "use --no-preflight to override",
+        file=sys.stderr,
+    )
+    return False
 
 
 @contextmanager

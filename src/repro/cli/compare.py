@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import argparse
 
-from repro.cli.common import add_telemetry_arguments, telemetry_session
+from repro.cli.common import (
+    add_preflight_arguments,
+    add_telemetry_arguments,
+    run_preflight,
+    telemetry_session,
+)
 from repro.cli.failover import add_scale_arguments, make_experiment
 from repro.core.experiment import pooled_outcomes
 from repro.core.techniques import (
@@ -31,6 +36,7 @@ def register(subparsers) -> None:
         help="also run the §4 combined technique",
     )
     add_scale_arguments(parser)
+    add_preflight_arguments(parser)
     add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
 
@@ -39,11 +45,22 @@ def run(args: argparse.Namespace) -> int:
     with telemetry_session(args):
         experiment = make_experiment(args)
         sites = args.sites or experiment.deployment.site_names
+        unknown = [s for s in sites if s not in experiment.deployment.sites]
+        if unknown:
+            print(f"unknown site(s) {unknown}; have {experiment.deployment.site_names}")
+            return 2
         techniques = [
             Anycast(), ReactiveAnycast(), ProactivePrepending(3), ProactiveSuperprefix(),
         ]
         if args.include_combined:
             techniques.append(Combined())
+        # technique=None validates the technique-independent plan (incl.
+        # the superprefix geometry), which covers the whole sweep.
+        if not run_preflight(
+            args, experiment.deployment, technique=None,
+            duration=args.duration, detection_delay=args.detection_delay,
+        ):
+            return 2
 
         failover_cdfs: dict[str, Cdf] = {}
         print(f"{'technique':26s} {'n':>4s} {'recon p50':>10s} {'fo p50':>8s} {'fo p90':>8s}")

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import argparse
 
-from repro.cli.common import add_telemetry_arguments, telemetry_session
+from repro.cli.common import (
+    add_preflight_arguments,
+    add_telemetry_arguments,
+    run_preflight,
+    telemetry_session,
+)
 from repro.core.drill import RotationDrill
 from repro.core.techniques import TECHNIQUES, technique_by_name
 from repro.topology.generator import TopologyParams
@@ -22,6 +27,7 @@ def register(subparsers) -> None:
                         help="recovery deadline per site (sim s)")
     parser.add_argument("--clients", type=int, default=25,
                         help="monitored client ASes")
+    add_preflight_arguments(parser)
     add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
 
@@ -33,6 +39,11 @@ def run(args: argparse.Namespace) -> int:
         clients = [
             info.node_id for info in deployment.topology.web_client_ases()
         ][: args.clients]
+        if not run_preflight(
+            args, deployment, technique=technique,
+            duration=args.deadline, target_nodes=clients,
+        ):
+            return 2
         drill = RotationDrill(
             deployment.topology, deployment, technique,
             deadline_s=args.deadline, seed=args.seed,

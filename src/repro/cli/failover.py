@@ -6,7 +6,12 @@ import argparse
 import logging
 from collections import Counter
 
-from repro.cli.common import add_telemetry_arguments, telemetry_session
+from repro.cli.common import (
+    add_preflight_arguments,
+    add_telemetry_arguments,
+    run_preflight,
+    telemetry_session,
+)
 from repro.core.experiment import FailoverConfig, FailoverExperiment
 from repro.core.techniques import TECHNIQUES, technique_by_name
 from repro.measurement.stats import summarize
@@ -54,6 +59,7 @@ def register(subparsers) -> None:
     parser.add_argument("--prepend", type=int, default=3,
                         help="prepend count for proactive-prepending")
     add_scale_arguments(parser)
+    add_preflight_arguments(parser)
     add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
 
@@ -66,6 +72,11 @@ def run(args: argparse.Namespace) -> int:
         experiment = make_experiment(args)
         if args.site not in experiment.deployment.sites:
             print(f"unknown site {args.site!r}; have {experiment.deployment.site_names}")
+            return 2
+        if not run_preflight(
+            args, experiment.deployment, technique=technique,
+            duration=args.duration, detection_delay=args.detection_delay,
+        ):
             return 2
         print(f"failing {args.site} under {technique.name} "
               f"({'silent' if args.silent else 'withdrawing'} failure) ...")

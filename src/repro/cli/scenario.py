@@ -5,7 +5,12 @@ from __future__ import annotations
 import argparse
 import logging
 
-from repro.cli.common import add_telemetry_arguments, telemetry_session
+from repro.cli.common import (
+    add_preflight_arguments,
+    add_telemetry_arguments,
+    run_preflight,
+    telemetry_session,
+)
 from repro.core.scenarios import ScenarioRunner
 from repro.core.techniques import TECHNIQUES, technique_by_name
 from repro.measurement.catchment import anycast_catchment
@@ -44,6 +49,7 @@ def register(subparsers) -> None:
     parser.add_argument("--duration", type=float, default=300.0)
     parser.add_argument("--grace", type=float, default=30.0,
                         help="make-before-break recovery grace (s)")
+    add_preflight_arguments(parser)
     add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
 
@@ -53,6 +59,13 @@ def run(args: argparse.Namespace) -> int:
         deployment = build_deployment(params=TopologyParams(seed=args.seed))
         if args.site not in deployment.sites:
             print(f"unknown site {args.site!r}; have {deployment.site_names}")
+            return 2
+        events = args.event or [("fail", args.site, args.duration / 4)]
+        if not run_preflight(
+            args, deployment,
+            technique=technique_by_name(args.technique),
+            events=events, duration=args.duration,
+        ):
             return 2
         catchment = anycast_catchment(deployment.topology, deployment, seed=args.seed)
         targets = [n for n, s in catchment.items() if s == args.site][:15]
@@ -74,7 +87,6 @@ def run(args: argparse.Namespace) -> int:
             recovery_grace=args.grace,
             seed=args.seed,
         )
-        events = args.event or [("fail", args.site, args.duration / 4)]
         for kind, site, at in events:
             runner.add_event(at, kind, site)
 
@@ -84,7 +96,7 @@ def run(args: argparse.Namespace) -> int:
         spark = "".join(
             glyphs[min(len(glyphs) - 1, int(v * (len(glyphs) - 1)))] for v in availability
         )
-        print(f"events: " + ", ".join(f"{e.kind} {e.site}@{e.at:.0f}s" for e in result.events))
+        print("events: " + ", ".join(f"{e.kind} {e.site}@{e.at:.0f}s" for e in result.events))
         print(f"availability |{spark}| (one char per {result.bucket_s:.0f}s)")
         print(f"mean availability: {result.mean_availability():.1%}")
         print(f"downtime (<50% served): {result.downtime_s():.0f}s")

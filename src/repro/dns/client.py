@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from dataclasses import dataclass
 
 from repro.dns.records import ARecord
@@ -74,7 +75,10 @@ class DnsClient:
         self.client_id = client_id
         self.resolver = resolver
         self.violation = violation or TtlViolationModel.compliant()
-        self.rng = rng or random.Random(hash(client_id) & 0xFFFFFFFF)
+        # str hash() is salted per process (PYTHONHASHSEED), so a
+        # hash-derived seed would give each process a different client
+        # population; crc32 is a stable digest of the same id.
+        self.rng = rng or random.Random(zlib.crc32(client_id.encode("utf-8")))
         self._record: ARecord | None = None
         self._usable_until = -math.inf
         self.lookups = 0

@@ -239,7 +239,7 @@ class IPv6Address:
 
     def __post_init__(self) -> None:
         if not 0 <= self.value <= _MAX_IPV6:
-            raise ValueError(f"IPv6 address value out of range")
+            raise ValueError("IPv6 address value out of range")
 
     @classmethod
     def parse(cls, text: str) -> "IPv6Address":

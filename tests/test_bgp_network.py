@@ -7,7 +7,7 @@ from repro.bgp.policy import Relationship
 from repro.bgp.session import SessionTiming
 from repro.net.addr import IPv4Address, IPv4Prefix
 
-from tests.conftest import FAST_TIMING, build_line_network
+from tests.conftest import build_line_network
 
 PFX = IPv4Prefix.parse("184.164.244.0/24")
 ADDR = IPv4Address.parse("184.164.244.10")

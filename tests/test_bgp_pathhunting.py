@@ -4,7 +4,6 @@ rests on (§3, Appendices A & B)."""
 
 import itertools
 
-import pytest
 
 from repro.bgp.network import BgpNetwork
 from repro.bgp.session import SessionTiming

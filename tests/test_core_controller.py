@@ -5,8 +5,7 @@ import pytest
 from repro.core.controller import CdnController
 from repro.core.techniques import Anycast, ReactiveAnycast, Unicast
 from repro.dns.authoritative import AuthoritativeServer, StaticMapping
-from repro.net.addr import IPv4Address
-from repro.topology.testbed import SECOND_PREFIX, SPECIFIC_PREFIX, SUPERPREFIX
+from repro.topology.testbed import SPECIFIC_PREFIX, SUPERPREFIX
 
 from tests.conftest import FAST_TIMING
 

@@ -13,7 +13,7 @@ from repro.core.techniques import (
     Unicast,
     technique_by_name,
 )
-from repro.topology.testbed import SECOND_PREFIX, SPECIFIC_PREFIX, SUPERPREFIX, build_deployment
+from repro.topology.testbed import SPECIFIC_PREFIX, SUPERPREFIX
 
 from tests.conftest import FAST_TIMING
 

@@ -1,6 +1,5 @@
 """Tests for the DNS-bound unicast failover model."""
 
-import pytest
 
 from repro.core.unicast_failover import (
     UnicastFailoverConfig,

@@ -1,8 +1,6 @@
 """Tests for FIB-driven forwarding (static and event-driven)."""
 
-import pytest
 
-from repro.bgp.network import BgpNetwork
 from repro.bgp.policy import Relationship
 from repro.dataplane.forwarding import DropReason, ForwardingPlane
 from repro.net.addr import IPv4Address, IPv4Prefix

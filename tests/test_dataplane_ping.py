@@ -2,12 +2,10 @@
 
 import pytest
 
-from repro.bgp.policy import Relationship
 from repro.dataplane.capture import SiteCapture
 from repro.dataplane.forwarding import ForwardingPlane
 from repro.dataplane.ping import Prober
-from repro.net.addr import IPv4Address, IPv4Prefix
-from repro.topology.generator import TopologyParams, generate_topology
+from repro.topology.generator import generate_topology
 from repro.topology.testbed import PROBE_SOURCE, SPECIFIC_PREFIX, build_deployment
 
 from tests.conftest import FAST_TIMING, SMALL_PARAMS

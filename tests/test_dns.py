@@ -204,3 +204,36 @@ class TestDnsClient:
     def test_switch_time_without_record(self):
         client = DnsClient("c", RecursiveResolver("r1", make_auth()))
         assert client.switch_time("cdn.example", now=7.0) == 7.0
+
+    def test_default_rng_seed_is_process_stable(self):
+        """Regression: the per-client RNG used to be seeded from
+        hash(client_id), which PYTHONHASHSEED re-salts per process, so
+        the same experiment gave each process a different TTL-violator
+        population. The seed must come from a stable digest."""
+        import pathlib
+        import subprocess
+        import sys
+        import zlib
+
+        client = DnsClient("client-42", RecursiveResolver("r1", make_auth()))
+        expected = random.Random(zlib.crc32(b"client-42")).random()
+        assert client.rng.random() == expected
+
+        # The real failure mode only shows up across processes with
+        # different hash seeds; reproduce it the way CI would hit it.
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        probe = (
+            "import sys; sys.path.insert(0, 'src');"
+            "from repro.dns.client import DnsClient;"
+            "print(DnsClient('client-42', resolver=None).rng.random())"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", probe],
+                env={"PYTHONHASHSEED": seed},
+                capture_output=True, text=True, check=True,
+                cwd=str(repo_root),
+            ).stdout.strip()
+            for seed in ("1", "2")
+        }
+        assert outputs == {str(expected)}

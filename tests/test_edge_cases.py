@@ -1,6 +1,5 @@
 """Assorted edge cases pinned down late in development."""
 
-import pytest
 
 from repro.bgp.engine import EventEngine
 from repro.bgp.network import BgpNetwork
@@ -92,9 +91,6 @@ class TestProberEdges:
         from repro.dataplane.capture import SiteCapture
         from repro.dataplane.forwarding import ForwardingPlane
         from repro.dataplane.ping import Prober
-        from repro.topology.generator import Topology
-        from repro.topology.geo import Location
-        from repro.topology.relationships import AsClass, AsInfo
 
         topology = deployment.topology
         network = topology.build_network(seed=33, timing=FAST_TIMING)

@@ -19,7 +19,7 @@ from repro.core.techniques import (
     ReactiveAnycast,
     Unicast,
 )
-from repro.topology.testbed import SECOND_PREFIX, SPECIFIC_PREFIX, SUPERPREFIX
+from repro.topology.testbed import SPECIFIC_PREFIX, SUPERPREFIX
 
 from tests.conftest import FAST_TIMING
 

@@ -6,7 +6,6 @@ converge, produce loop-free forwarding, respect valley-free export, and
 agree with the independent static solver.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.bgp.policy import LOCAL_PREF, Relationship

@@ -9,7 +9,6 @@ reconnection and failover time."
 very similar for both datasets."
 """
 
-import pytest
 
 from repro.bgp.session import SessionTiming
 from repro.core.experiment import FailoverConfig, FailoverExperiment, pooled_outcomes

@@ -9,7 +9,6 @@ from repro.measurement.appendix import (
     announced_prefix_snapshot,
 )
 from repro.topology.generator import generate_topology
-from repro.topology.relationships import AsClass
 
 from tests.conftest import FAST_TIMING
 

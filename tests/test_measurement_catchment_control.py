@@ -10,7 +10,6 @@ from repro.measurement.control import (
     measure_control_all_sites,
     prepending_catchment,
 )
-from repro.measurement.hitlist import Hitlist
 from repro.topology.testbed import SPECIFIC_PREFIX
 
 from tests.conftest import FAST_TIMING

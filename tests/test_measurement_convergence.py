@@ -1,6 +1,5 @@
 """Tests for convergence/propagation metrics and the event-time estimator."""
 
-import pytest
 
 from repro.bgp.collector import CollectorEntry, RouteCollector
 from repro.measurement.convergence import (

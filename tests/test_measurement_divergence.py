@@ -6,7 +6,6 @@ from repro.dataplane.forwarding import ForwardingPlane
 from repro.dataplane.traceroute import PathPair, ReverseTraceroute
 from repro.measurement.divergence import analyze_divergence, _diverging_point
 from repro.topology.testbed import (
-    PROBE_SOURCE,
     SECOND_PREFIX,
     SPECIFIC_PREFIX,
     build_deployment,

@@ -1,7 +1,6 @@
 """Tests for result serialization."""
 
 import json
-import math
 
 import pytest
 

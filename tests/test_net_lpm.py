@@ -1,6 +1,5 @@
 """Unit and property tests for the LPM trie."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.net.addr import IPv4Address, IPv4Prefix

@@ -4,7 +4,7 @@ import pytest
 
 from repro.topology.generator import TopologyParams, generate_topology
 from repro.topology.relationships import AsClass
-from repro.topology.testbed import SiteSpec, build_deployment
+from repro.topology.testbed import build_deployment
 
 from tests.conftest import FAST_TIMING
 from repro.net.addr import IPv4Prefix
