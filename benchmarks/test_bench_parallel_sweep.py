@@ -1,0 +1,90 @@
+"""Parallel sweep: wall-clock speedup and serial/parallel equality.
+
+Runs the full five-technique Fig. 2 matrix once serially and once over a
+four-worker pool, checks the canonical JSON exports are byte-identical,
+and records both wall times in ``BENCH_parallel_sweep.json``.
+
+The speedup is bounded by the host: on a single-core container the
+parallel run pays fork/pickle overhead for no extra compute and the
+ratio honestly lands near (or below) 1.0, so the machine-readable
+payload carries ``cpu_count`` alongside the ratio. Equality is the hard
+invariant; speedup is reporting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.experiment import FailoverConfig, FailoverExperiment
+from repro.core.techniques import technique_by_name
+from repro.measurement.export import sweep_report_to_dict
+from repro.parallel import matrix, run_sweep
+
+from benchmarks.conftest import report, write_bench_json
+
+TECHNIQUES = (
+    "anycast",
+    "reactive-anycast",
+    "proactive-prepending",
+    "proactive-superprefix",
+    "combined",
+)
+WORKERS = 4
+
+
+def _canonical(sweep_report) -> str:
+    doc = sweep_report_to_dict(sweep_report)
+    # Host wall-clock and worker count are the only fields allowed to
+    # differ between the two runs.
+    doc.pop("wall_s")
+    doc.pop("workers")
+    for cell in doc["cells"]:
+        cell.pop("wall_s")
+    return json.dumps(doc, sort_keys=True)
+
+
+def test_parallel_sweep_speedup_and_equality(deployment):
+    config = FailoverConfig(probe_duration=120.0, targets_per_site=8)
+    experiment = FailoverExperiment(deployment.topology, deployment, config)
+    techniques = [technique_by_name(name) for name in TECHNIQUES]
+    cells = matrix(techniques, deployment.site_names)
+
+    # Warm the shared caches so both runs time only the cells.
+    serial_warm = run_sweep(experiment, cells[:1], workers=1)
+    assert serial_warm.ok
+
+    serial = run_sweep(experiment, cells, workers=1)
+    parallel = run_sweep(experiment, cells, workers=WORKERS)
+    assert serial.ok and parallel.ok
+
+    serial_doc = _canonical(serial)
+    parallel_doc = _canonical(parallel)
+    identical = serial_doc == parallel_doc
+    assert identical, "parallel sweep diverged from serial"
+
+    speedup = serial.wall_s / parallel.wall_s if parallel.wall_s else float("inf")
+    payload = {
+        "scenario": f"{len(techniques)}x{len(deployment.site_names)} "
+                    f"technique/site matrix ({len(cells)} cells)",
+        "probe_duration_s": config.probe_duration,
+        "targets_per_site": config.targets_per_site,
+        "cells": len(cells),
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial.wall_s, 3),
+        "parallel_s": round(parallel.wall_s, 3),
+        "speedup": round(speedup, 3),
+        "identical": identical,
+    }
+    write_bench_json("parallel_sweep", payload)
+    report(
+        "Parallel sweep (speedup + equality)",
+        [
+            f"- matrix: {payload['scenario']}",
+            f"- serial: {payload['serial_s']:.2f}s, "
+            f"{WORKERS} workers: {payload['parallel_s']:.2f}s "
+            f"(speedup {payload['speedup']:.2f}x on {payload['cpu_count']} CPU(s))",
+            f"- serial/parallel canonical JSON identical: {identical}",
+        ],
+    )

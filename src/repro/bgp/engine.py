@@ -114,8 +114,12 @@ class EventEngine:
         """Execute events until the clock would pass ``deadline``.
 
         The clock is left at ``deadline`` (events at exactly ``deadline``
-        are executed).
+        are executed). A ``deadline`` in the past raises ``ValueError``
+        (matching :meth:`schedule_at`): silently doing nothing would make
+        a caller's arithmetic bug vanish without a trace.
         """
+        if deadline < self._now:
+            raise ValueError(f"cannot run until {deadline} < now {self._now}")
         while self._queue and self._queue[0][0] <= deadline:
             self.step()
         if deadline > self._now:

@@ -5,6 +5,8 @@
     repro topology                    # summarize the generated Internet
     repro failover -t reactive-anycast -s sea1
     repro compare                     # Figure-2-style technique sweep
+    repro compare --workers 4         # same sweep, sharded over processes
+    repro sweep -o sweep.json --workers 4   # full matrix + JSON archive
     repro control                     # Table-1 traffic control
     repro appendix withdrawal         # Figure 3 pipeline
     repro appendix propagation        # Figure 4 pipeline
@@ -40,6 +42,7 @@ from repro.cli import (
     lint_cmd,
     playbook_cmd,
     scenario,
+    sweep_cmd,
     topology_cmd,
     trace_cmd,
 )
@@ -64,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
         topology_cmd,
         failover,
         compare,
+        sweep_cmd,
         control,
         appendix,
         drill,

@@ -53,6 +53,58 @@ def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("parallel execution")
+    group.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N",
+        help="worker processes for the sweep (default 1 = in-process serial; "
+             "results are identical for any N)",
+    )
+    group.add_argument(
+        "--cell-timeout", type=float, default=900.0, metavar="S",
+        help="wall-clock timeout per sweep cell when --workers > 1 "
+             "(0 disables; an overdue cell is reported failed, not hung)",
+    )
+    group.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the sweep progress line on stderr",
+    )
+
+
+def cell_timeout(args: argparse.Namespace) -> float | None:
+    """The per-cell timeout for the pool (None when disabled)."""
+    timeout = getattr(args, "cell_timeout", 0.0)
+    return timeout if timeout and timeout > 0 else None
+
+
+def sweep_progress(args: argparse.Namespace, total: int):
+    """A progress callback for a ``total``-cell sweep, or None.
+
+    Progress is only shown for parallel runs: the serial path keeps its
+    historical quiet stderr.
+    """
+    if getattr(args, "no_progress", False) or total <= 1:
+        return None
+    if getattr(args, "workers", 1) <= 1:
+        return None
+    from repro.parallel.progress import ProgressPrinter
+
+    return ProgressPrinter()
+
+
+def report_sweep_failures(report) -> None:
+    """Print failed cells (status + first traceback line) to stderr."""
+    for failure in report.failures():
+        detail = ""
+        if failure.error:
+            last = failure.error.strip().splitlines()[-1]
+            detail = f": {last}"
+        print(
+            f"sweep: cell {failure.cell_id} {failure.status}{detail}",
+            file=sys.stderr,
+        )
+
+
 def add_preflight_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-preflight", action="store_true",

@@ -5,9 +5,13 @@ from __future__ import annotations
 import argparse
 
 from repro.cli.common import (
+    add_parallel_arguments,
     add_preflight_arguments,
     add_telemetry_arguments,
+    cell_timeout,
+    report_sweep_failures,
     run_preflight,
+    sweep_progress,
     telemetry_session,
 )
 from repro.cli.failover import add_scale_arguments, make_experiment
@@ -21,6 +25,7 @@ from repro.core.techniques import (
 )
 from repro.measurement.plotting import render_cdfs
 from repro.measurement.stats import Cdf
+from repro.parallel import matrix, run_sweep
 
 
 def register(subparsers) -> None:
@@ -36,6 +41,7 @@ def register(subparsers) -> None:
         help="also run the §4 combined technique",
     )
     add_scale_arguments(parser)
+    add_parallel_arguments(parser)
     add_preflight_arguments(parser)
     add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
@@ -62,10 +68,27 @@ def run(args: argparse.Namespace) -> int:
         ):
             return 2
 
+        # The full ⟨technique, site⟩ matrix runs as one sweep so --workers
+        # shards across all cells; results come back in matrix order and
+        # are grouped per technique below, so the output is byte-identical
+        # for any worker count.
+        cells = matrix(techniques, list(sites))
+        report = run_sweep(
+            experiment, cells,
+            workers=args.workers,
+            timeout_s=cell_timeout(args),
+            progress=sweep_progress(args, len(cells)),
+        )
+        report_sweep_failures(report)
+
         failover_cdfs: dict[str, Cdf] = {}
         print(f"{'technique':26s} {'n':>4s} {'recon p50':>10s} {'fo p50':>8s} {'fo p90':>8s}")
         for technique in techniques:
-            outcomes = pooled_outcomes(experiment.run_all_sites(technique, sites))
+            results = report.results_for(technique.name)
+            if not results:
+                print(f"{technique.name:26s} {'-':>4s}  (all cells failed)")
+                continue
+            outcomes = pooled_outcomes(results)
             recon = Cdf.from_optional([o.reconnection_s for o in outcomes])
             failover = Cdf.from_optional([o.failover_s for o in outcomes])
             failover_cdfs[technique.name] = failover
@@ -74,4 +97,4 @@ def run(args: argparse.Namespace) -> int:
 
         print("\nfailover time CDF across <failed site, target>:")
         print(render_cdfs(failover_cdfs))
-    return 0
+    return 0 if report.ok else 1

@@ -5,9 +5,12 @@ from __future__ import annotations
 import argparse
 
 from repro.cli.common import (
+    add_parallel_arguments,
     add_preflight_arguments,
     add_telemetry_arguments,
+    cell_timeout,
     run_preflight,
+    sweep_progress,
     telemetry_session,
 )
 from repro.core.drill import RotationDrill
@@ -27,6 +30,7 @@ def register(subparsers) -> None:
                         help="recovery deadline per site (sim s)")
     parser.add_argument("--clients", type=int, default=25,
                         help="monitored client ASes")
+    add_parallel_arguments(parser)
     add_preflight_arguments(parser)
     add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
@@ -48,7 +52,17 @@ def run(args: argparse.Namespace) -> int:
             deployment.topology, deployment, technique,
             deadline_s=args.deadline, seed=args.seed,
         )
-        for outcome in drill.run_rotation(clients):
+        try:
+            outcomes = drill.run_rotation(
+                clients,
+                workers=args.workers,
+                timeout_s=cell_timeout(args),
+                progress=sweep_progress(args, len(deployment.site_names)),
+            )
+        except RuntimeError as error:
+            print(f"drill aborted: {error}")
+            return 2
+        for outcome in outcomes:
             status = "PASS" if outcome.passed else f"FAIL ({outcome.stranded} stranded)"
             print(f"  {outcome.site:6s} recovered {outcome.recovered:3d}/{len(clients)}  {status}")
         print("rotation verdict:", "all sites pass" if drill.all_passed() else "FAILURES")

@@ -7,8 +7,11 @@ import logging
 from collections import Counter
 
 from repro.cli.common import (
+    add_parallel_arguments,
     add_preflight_arguments,
     add_telemetry_arguments,
+    cell_timeout,
+    report_sweep_failures,
     run_preflight,
     telemetry_session,
 )
@@ -59,6 +62,7 @@ def register(subparsers) -> None:
     parser.add_argument("--prepend", type=int, default=3,
                         help="prepend count for proactive-prepending")
     add_scale_arguments(parser)
+    add_parallel_arguments(parser)
     add_preflight_arguments(parser)
     add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
@@ -80,7 +84,21 @@ def run(args: argparse.Namespace) -> int:
             return 2
         print(f"failing {args.site} under {technique.name} "
               f"({'silent' if args.silent else 'withdrawing'} failure) ...")
-        result = experiment.run_site(technique, args.site)
+        if args.workers > 1:
+            # One cell, but run through the pool: the run gets crash
+            # isolation and the per-cell timeout instead of hanging.
+            from repro.parallel import SweepCell, run_sweep
+
+            report = run_sweep(
+                experiment, [SweepCell(technique, args.site)],
+                workers=args.workers, timeout_s=cell_timeout(args),
+            )
+            if not report.ok:
+                report_sweep_failures(report)
+                return 1
+            result = report.site_results()[0]
+        else:
+            result = experiment.run_site(technique, args.site)
         print(f"selected {len(result.selection.targets)} targets, "
               f"{len(result.controllable)} controllable pre-failure")
         print(f"reconnection: {summarize([o.reconnection_s for o in result.outcomes]).row()}")

@@ -93,11 +93,55 @@ class RotationDrill:
         self.outcomes.append(outcome)
         return outcome
 
-    def run_rotation(self, clients: list[str] | None = None) -> list[DrillOutcome]:
-        """Drill every site once; returns per-site outcomes."""
+    def run_rotation(
+        self,
+        clients: list[str] | None = None,
+        *,
+        workers: int = 1,
+        timeout_s: float | None = None,
+        progress=None,
+    ) -> list[DrillOutcome]:
+        """Drill every site once; returns per-site outcomes.
+
+        ``workers > 1`` drills sites in parallel worker processes (each
+        drill is an independent simulation seeded only by ``seed``), with
+        outcomes merged back in site order -- identical to the serial
+        path. A crashed or timed-out site drill raises ``RuntimeError``.
+        """
         if clients is None:
             clients = [info.node_id for info in self.topology.web_client_ases()]
-        return [self.run_site(site, clients) for site in self.deployment.site_names]
+        sites = self.deployment.site_names
+        if workers <= 1:
+            return [self.run_site(site, clients) for site in sites]
+        # Local import: keeps repro.core importable without repro.parallel.
+        from repro.parallel.pool import map_cells
+
+        results = map_cells(
+            _drill_site_cell,
+            self,
+            [(f"drill/{site}", (site, clients)) for site in sites],
+            workers=workers,
+            timeout_s=timeout_s,
+            progress=progress,
+        )
+        failures = [r for r in results if not r.ok]
+        if failures:
+            summary = "; ".join(f"{r.cell_id}: {r.status}" for r in failures)
+            raise RuntimeError(f"{len(failures)} drill cell(s) failed: {summary}")
+        outcomes = [r.value for r in results]
+        self.outcomes.extend(outcomes)
+        return outcomes
 
     def all_passed(self) -> bool:
         return bool(self.outcomes) and all(o.passed for o in self.outcomes)
+
+
+def _drill_site_cell(drill: RotationDrill, payload: tuple[str, list[str]]) -> DrillOutcome:
+    """Worker entry point: one site's drill on a pickled drill copy.
+
+    The worker's ``drill`` is its own copy, so ``run_site``'s append to
+    ``outcomes`` stays local; the parent re-appends merged outcomes in
+    site order.
+    """
+    site, clients = payload
+    return drill.run_site(site, clients)

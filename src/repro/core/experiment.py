@@ -101,13 +101,20 @@ class FailoverExperiment:
         topology: Topology,
         deployment: CdnDeployment,
         config: FailoverConfig | None = None,
+        *,
+        catchment: dict[str, str | None] | None = None,
+        hitlist: Hitlist | None = None,
+        selections: dict[str, TargetSelection] | None = None,
     ) -> None:
         self.topology = topology
         self.deployment = deployment
         self.config = config or FailoverConfig()
-        self._catchment: dict[str, str | None] | None = None
-        self._hitlist: Hitlist | None = None
-        self._selections: dict[str, TargetSelection] = {}
+        # The keyword arguments pre-seed the topology-only caches; sweep
+        # workers use them so shared state computed once in the parent is
+        # never silently recomputed per process.
+        self._catchment: dict[str, str | None] | None = catchment
+        self._hitlist: Hitlist | None = hitlist
+        self._selections: dict[str, TargetSelection] = dict(selections or {})
 
     # ------------------------------------------------------------------
     # Shared, topology-only state
@@ -175,6 +182,11 @@ class FailoverExperiment:
             raise ValueError(f"unknown selection mode {mode!r}")
         self._selections[key] = selection
         return selection
+
+    def cached_selections(self) -> dict[str, TargetSelection]:
+        """A copy of the per-⟨site, mode⟩ selection cache (for shipping
+        to sweep workers)."""
+        return dict(self._selections)
 
     # ------------------------------------------------------------------
     # One run
@@ -249,11 +261,34 @@ class FailoverExperiment:
         )
 
     def run_all_sites(
-        self, technique: Technique, sites: list[str] | None = None
+        self,
+        technique: Technique,
+        sites: list[str] | None = None,
+        *,
+        workers: int = 1,
+        timeout_s: float | None = None,
+        progress=None,
     ) -> list[SiteFailoverResult]:
-        """Fig. 2's sweep: fail every site once under ``technique``."""
+        """Fig. 2's sweep: fail every site once under ``technique``.
+
+        ``workers > 1`` shards the sites over a process pool (see
+        :mod:`repro.parallel`); results are identical to the serial path
+        and returned in site order. A failed/timed-out cell raises
+        ``RuntimeError`` -- callers that need per-cell failure handling
+        should use :func:`repro.parallel.sweep.run_sweep` directly.
+        """
         sites = sites if sites is not None else self.deployment.site_names
-        return [self.run_site(technique, site) for site in sites]
+        if workers <= 1:
+            return [self.run_site(technique, site) for site in sites]
+        # Local import: repro.parallel.sweep imports this module.
+        from repro.parallel.sweep import SweepCell, run_sweep
+
+        cells = [SweepCell(technique, site) for site in sites]
+        report = run_sweep(
+            self, cells, workers=workers, timeout_s=timeout_s, progress=progress
+        )
+        report.raise_on_failure()
+        return report.site_results()
 
 
 def pooled_outcomes(results: list[SiteFailoverResult]) -> list[TargetOutcome]:

@@ -69,6 +69,63 @@ def failover_result_to_dict(result: SiteFailoverResult) -> dict[str, Any]:
     }
 
 
+def cell_result_to_dict(cell: Any, result: Any) -> dict[str, Any]:
+    """One sweep cell: its identity, pool status, and (when the cell
+    succeeded) the full failover result payload.
+
+    ``cell`` is a :class:`repro.parallel.sweep.SweepCell` and ``result``
+    a :class:`repro.parallel.pool.CellResult`; typed as ``Any`` to keep
+    this module import-light (repro.parallel imports repro.core, which
+    this module also feeds).
+    """
+    payload: dict[str, Any] = {
+        "cell": result.cell_id,
+        "technique": cell.technique.name,
+        "site": cell.site,
+        "status": result.status,
+        "wall_s": result.wall_s,
+    }
+    if result.ok:
+        payload["result"] = failover_result_to_dict(result.value)
+    else:
+        payload["error"] = result.error
+    return payload
+
+
+def sweep_report_to_dict(report: Any) -> dict[str, Any]:
+    """Archive a full sweep: per-cell payloads plus per-technique pooled
+    outcomes and CDFs (the Fig. 2 artefacts).
+
+    The pooled sections are derived from results merged in cell order,
+    so the document is byte-identical for any worker count.
+    """
+    technique_names: list[str] = []
+    for cell in report.cells:
+        if cell.technique.name not in technique_names:
+            technique_names.append(cell.technique.name)
+    pooled: dict[str, Any] = {}
+    for name in technique_names:
+        outcomes = [o for r in report.results_for(name) for o in r.outcomes]
+        pooled[name] = {
+            "outcomes": [outcome_to_dict(o) for o in outcomes],
+            "reconnection_cdf": cdf_to_dict(
+                Cdf.from_optional([o.reconnection_s for o in outcomes])
+            ),
+            "failover_cdf": cdf_to_dict(
+                Cdf.from_optional([o.failover_s for o in outcomes])
+            ),
+        }
+    return {
+        "workers": report.workers,
+        "wall_s": report.wall_s,
+        "cells": [
+            cell_result_to_dict(cell, result)
+            for cell, result in zip(report.cells, report.results)
+        ],
+        "pooled": pooled,
+    }
+
+
 def control_result_to_dict(result: ControlResult) -> dict[str, Any]:
     return {
         "site": result.site,

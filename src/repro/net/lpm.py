@@ -70,7 +70,7 @@ class LpmTrie(Generic[V]):
         return self._size
 
     def __contains__(self, prefix: _PrefixLike) -> bool:
-        return self.get(prefix) is not None or self._has_exact(prefix)
+        return self._has_exact(prefix)
 
     def _check_family(self, bits: int) -> None:
         if bits != self._bits:
@@ -98,7 +98,13 @@ class LpmTrie(Generic[V]):
         return node is not None and node.has_value
 
     def insert(self, prefix: _PrefixLike, value: V) -> None:
-        """Insert or replace the value at ``prefix``."""
+        """Insert or replace the value at ``prefix``.
+
+        ``None`` is rejected: :meth:`get` returns ``None`` for "absent",
+        so a stored ``None`` would be indistinguishable from a miss.
+        """
+        if value is None:
+            raise ValueError("LpmTrie cannot store None (get() uses None for 'absent')")
         self._check_family(prefix.bits)
         node = self._walk(prefix, create=True)
         assert node is not None
@@ -108,23 +114,56 @@ class LpmTrie(Generic[V]):
         node.has_value = True
 
     def remove(self, prefix: _PrefixLike) -> bool:
-        """Remove ``prefix``; returns True if it was present."""
+        """Remove ``prefix``; returns True if it was present.
+
+        Interior nodes left without a value or children are pruned, so
+        announce/withdraw churn (reactive-anycast's steady state) cannot
+        grow the trie without bound.
+        """
         self._check_family(prefix.bits)
-        node = self._walk(prefix, create=False)
-        if node is None or not node.has_value:
+        path: list[tuple[_Node[V], int]] = []  # (parent, bit taken from it)
+        node = self._root
+        top = self._bits - 1
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (top - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
             return False
         node.value = None
         node.has_value = False
         self._size -= 1
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            assert child is not None
+            if child.has_value or child.children[0] is not None or child.children[1] is not None:
+                break
+            parent.children[bit] = None
         return True
 
     def get(self, prefix: _PrefixLike) -> V | None:
-        """Exact-match lookup (no LPM)."""
+        """Exact-match lookup (no LPM); None means absent."""
         self._check_family(prefix.bits)
         node = self._walk(prefix, create=False)
         if node is None or not node.has_value:
             return None
         return node.value
+
+    def node_count(self) -> int:
+        """Number of trie nodes, the root included (a churn diagnostic:
+        after every prefix is removed this returns to 1)."""
+        count = 0
+        stack: list[_Node[V]] = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            for child in node.children:
+                if child is not None:
+                    stack.append(child)
+        return count
 
     def lookup(self, address: _AddressLike) -> tuple[_PrefixLike, V] | None:
         """Longest-prefix match for ``address``; None if nothing matches."""

@@ -1,0 +1,50 @@
+"""Progress reporting for long sweeps.
+
+A sweep over the full matrix is minutes of wall-clock; the progress
+callback keeps the operator informed without touching the simulation.
+On a TTY the line redraws in place (``\\r``); on a pipe (CI logs) each
+completion prints its own line so the log stays readable.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from repro.parallel.pool import CellResult
+
+
+class ProgressPrinter:
+    """Prints ``done/total`` cell completions to ``stream`` (stderr)."""
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.failed = 0
+        self._inline = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._dirty = False
+
+    def __call__(self, done: int, total: int, result: CellResult) -> None:
+        if not result.ok:
+            self.failed += 1
+        failed = f"  {self.failed} failed" if self.failed else ""
+        status = "" if result.ok else f" [{result.status}]"
+        line = (
+            f"sweep: {done}/{total} cells{failed}  "
+            f"last {result.cell_id}{status} {result.wall_s:.1f}s"
+        )
+        if self._inline:
+            self.stream.write(f"\r\x1b[2K{line}")
+            self._dirty = True
+            if done == total:
+                self.stream.write("\n")
+                self._dirty = False
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Terminate a half-drawn inline line (aborted sweep)."""
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False

@@ -42,6 +42,8 @@ from repro.telemetry.summary import (
 from repro.telemetry.trace import (
     EVENT_TYPES,
     BgpUpdateSent,
+    CellEnd,
+    CellStart,
     FibInstalled,
     FlapDamped,
     PhaseEnd,
@@ -75,6 +77,8 @@ __all__ = [
     "summarize_trace",
     "EVENT_TYPES",
     "BgpUpdateSent",
+    "CellEnd",
+    "CellStart",
     "FibInstalled",
     "FlapDamped",
     "PhaseEnd",

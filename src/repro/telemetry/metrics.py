@@ -128,6 +128,39 @@ class Histogram:
     def median(self) -> float:
         return self.quantile(0.5)
 
+    def state(self) -> dict:
+        """Full mergeable state: unlike :meth:`summary`, this keeps the
+        raw bucket counts, so two histograms recorded in different
+        processes can be combined without losing quantile fidelity."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "zero": self._zero,
+            "buckets": dict(self._buckets),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Bucket counts add exactly, so the merged quantiles are identical
+        to what one histogram observing both sample streams would
+        report. Bucket keys may arrive as strings (JSON round-trip).
+        """
+        if not state["count"]:
+            return
+        self.count += state["count"]
+        self.total += state["total"]
+        if state["min"] is not None and state["min"] < self.min:
+            self.min = state["min"]
+        if state["max"] is not None and state["max"] > self.max:
+            self.max = state["max"]
+        self._zero += state["zero"]
+        for index, bucket_count in state["buckets"].items():
+            index = int(index)
+            self._buckets[index] = self._buckets.get(index, 0) + bucket_count
+
     def summary(self) -> dict[str, float]:
         """The standard reporting tuple for snapshots and rendering."""
         return {

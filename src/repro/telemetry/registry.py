@@ -73,6 +73,12 @@ class NullTelemetry:
     def snapshot(self) -> dict:
         return {"enabled": False, "counters": {}, "gauges": {}, "histograms": {}}
 
+    def mergeable_snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        pass
+
 
 #: the shared disabled backend
 NULL = NullTelemetry()
@@ -195,6 +201,39 @@ class Telemetry:
                 name: h.summary() for name, h in sorted(self.histograms.items())
             },
         }
+
+    def mergeable_snapshot(self) -> dict:
+        """A plain-data view that survives a process boundary and merges.
+
+        Unlike :meth:`snapshot` (which summarizes histograms down to a
+        few quantiles), this keeps the full bucket state so a parent
+        process can fold many workers' registries together without
+        losing fidelity. Feed the result to :meth:`merge_snapshot`.
+        """
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {
+                name: {"value": g.value, "max": g.max_value}
+                for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {name: h.state() for name, h in sorted(self.histograms.items())},
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`mergeable_snapshot` into this
+        one: counters are summed, histograms bucket-merged, and gauges
+        keep the merged snapshot's last value plus the running max.
+        Merging in a fixed order (the sweep's cell order) keeps the
+        combined registry deterministic regardless of which worker
+        finished first."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, state in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(state["max"])
+            gauge.set(state["value"])
+        for name, state in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_state(state)
 
     def render(self) -> str:
         """Human-readable metrics dump (the ``--metrics`` output)."""

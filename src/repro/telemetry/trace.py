@@ -168,6 +168,39 @@ class PhaseEnd(TraceEvent):
     tags: dict = field(default_factory=dict)
 
 
+@_register
+@dataclass(frozen=True, slots=True)
+class CellStart(TraceEvent):
+    """A parallel-sweep cell's events begin.
+
+    Worker processes record their own traces; the parent merges them in
+    deterministic cell order, bracketing each cell's events between
+    ``CellStart`` and ``CellEnd`` so every event in between is
+    attributable to the named ⟨technique, site⟩ cell. ``t`` restarts at
+    each cell's own engine epoch.
+    """
+
+    kind: ClassVar[str] = "cell_start"
+
+    cell: str
+    worker: int = -1
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class CellEnd(TraceEvent):
+    """A parallel-sweep cell's events end (see :class:`CellStart`)."""
+
+    kind: ClassVar[str] = "cell_end"
+
+    cell: str
+    status: str = "ok"
+    #: host wall-clock seconds the cell took in its worker
+    wall_s: float = 0.0
+    #: number of events the cell contributed to the merged trace
+    events: int = 0
+
+
 def event_from_dict(data: dict) -> TraceEvent:
     """Rebuild a typed event from its JSONL dictionary."""
     kind = data.get("kind")

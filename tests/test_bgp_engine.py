@@ -73,6 +73,23 @@ class TestRunControl:
         engine.run_until(5.0)
         assert seen == [5]
 
+    def test_run_until_past_deadline_raises(self):
+        """Matches schedule_at: asking the engine to run to a point in
+        the past is a caller bug, not a silent no-op."""
+        engine = EventEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run_until(5.0)
+        with pytest.raises(ValueError):
+            engine.run_until(4.0)
+        assert engine.now == 5.0  # clock untouched by the rejected call
+
+    def test_run_until_current_time_is_allowed(self):
+        engine = EventEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run_until(5.0)
+        engine.run_until(5.0)  # deadline == now: fine, no-op
+        assert engine.now == 5.0
+
     def test_advance_relative(self):
         engine = EventEngine()
         engine.schedule(1.0, lambda: None)

@@ -12,7 +12,9 @@ class TestParser:
 
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("topology", "failover", "compare", "control", "appendix", "drill"):
+        for command in (
+            "topology", "failover", "compare", "sweep", "control", "appendix", "drill",
+        ):
             args = parser.parse_args(
                 [command, "withdrawal"] if command == "appendix" else [command]
             )
@@ -31,6 +33,28 @@ class TestParser:
     def test_unknown_technique_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["failover", "-t", "quantum"])
+
+    def test_parallel_flags(self):
+        args = build_parser().parse_args(["compare", "--workers", "4"])
+        assert args.workers == 4
+        assert args.cell_timeout == 900.0
+        assert not args.no_progress
+        args = build_parser().parse_args(["compare"])
+        assert args.workers == 1  # default stays serial
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--workers", "0"])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert "combined" in args.techniques
+        assert len(args.techniques) == 5
+        assert args.output == "sweep.json"
+
+    def test_sweep_unknown_technique_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "-t", "quantum"])
 
 
 class TestCommands:
@@ -145,6 +169,37 @@ class TestExtendedCommands:
         out = capsys.readouterr().out
         assert "proactive-superprefix" in out
         assert "failover time CDF" in out
+
+    def test_compare_parallel_matches_serial(self, capsys):
+        """--workers 2 prints byte-for-byte what the serial path prints."""
+        argv = ["compare", "--sites", "msn", "--targets", "4", "--duration", "60"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--workers", "2", "--no-progress"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_sweep_writes_archive(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "-t", "anycast", "--sites", "msn", "sea1",
+            "--targets", "4", "--duration", "40", "-o", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "2 cells" in text
+        assert "anycast" in text
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["workers"] == 1
+        assert [c["cell"] for c in doc["cells"]] == ["anycast/msn", "anycast/sea1"]
+        assert set(doc["pooled"]) == {"anycast"}
+
+    def test_sweep_unknown_site(self, capsys, tmp_path):
+        code = main(["sweep", "--sites", "lhr", "-o", str(tmp_path / "s.json")])
+        assert code == 2
+        assert "unknown site" in capsys.readouterr().out
 
     def test_failover_silent_flag(self, capsys):
         code = main([

@@ -59,6 +59,22 @@ class TestCdf:
         assert cdf.median() == math.inf
         assert cdf.at(1e9) == 0.0
 
+    def test_fully_censored_every_quantile_is_inf(self):
+        """With zero observations every quantile falls in the censored
+        tail: 'not yet reconnected' at any probability."""
+        cdf = Cdf([], censored=3)
+        for q in (0.01, 0.5, 0.9, 1.0):
+            assert cdf.quantile(q) == math.inf
+
+    def test_at_denominator_includes_censored_mass(self):
+        """at() is P(X <= x) over *all* n samples; censored targets sit
+        in the denominator even though they never produce a value."""
+        cdf = Cdf([1.0, 2.0], censored=2)
+        assert cdf.n == 4
+        assert cdf.at(1.0) == 0.25
+        assert cdf.at(2.0) == 0.5
+        assert cdf.at(math.inf) == 0.5  # the censored half never arrives
+
     def test_series_monotone(self):
         xs, ys = Cdf([3.0, 1.0, 2.0]).series()
         assert xs == [1.0, 2.0, 3.0]
@@ -97,4 +113,23 @@ class TestSummarize:
     def test_row_rendering(self):
         row = summarize([1.0, None]).row()
         assert "censored=1" in row
-        assert "inf" in row
+
+    def test_summarize_empty_list(self):
+        """No samples at all: n=0 and NaN quantiles, never a crash
+        (a sweep technique whose cells all failed hits this path)."""
+        summary = summarize([])
+        assert summary.n == 0
+        assert summary.censored == 0
+        assert math.isnan(summary.p10)
+        assert math.isnan(summary.median)
+        assert math.isnan(summary.p90)
+        assert math.isnan(summary.mean_observed)
+        assert "n=0" in summary.row()
+
+    def test_summarize_all_censored(self):
+        summary = summarize([None, None, None])
+        assert summary.n == 3
+        assert summary.censored == 3
+        assert summary.median == math.inf
+        assert math.isnan(summary.mean_observed)
+        assert "p50=inf" in summary.row()

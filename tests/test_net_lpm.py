@@ -1,5 +1,6 @@
 """Unit and property tests for the LPM trie."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.net.addr import IPv4Address, IPv4Prefix
@@ -99,6 +100,82 @@ class TestLpmTrieBasics:
         trie.insert(P("10.1.2.0/24"), "v")
         match = trie.lookup(A("10.1.2.200"))
         assert match == (P("10.1.2.0/24"), "v")
+
+
+class TestNodePruning:
+    """remove() must prune dead interior nodes: announce/withdraw churn
+    (reactive-anycast's steady state) otherwise grows the trie forever."""
+
+    def test_remove_prunes_back_to_root(self):
+        trie = LpmTrie()
+        assert trie.node_count() == 1
+        trie.insert(P("10.1.2.0/24"), "v")
+        assert trie.node_count() == 25  # root + one node per bit
+        trie.remove(P("10.1.2.0/24"))
+        assert trie.node_count() == 1
+
+    def test_remove_keeps_shared_spine(self):
+        trie = LpmTrie()
+        trie.insert(P("10.0.0.0/8"), "coarse")
+        trie.insert(P("10.1.0.0/16"), "fine")
+        baseline = trie.node_count()
+        trie.remove(P("10.1.0.0/16"))
+        assert trie.node_count() == 9  # root + the /8 spine
+        trie.insert(P("10.1.0.0/16"), "fine")
+        assert trie.node_count() == baseline
+
+    def test_remove_keeps_deeper_entries(self):
+        """Removing a covering prefix must not orphan the more-specific
+        one below it (the superprefix/specific pair of §3)."""
+        trie = LpmTrie()
+        trie.insert(P("184.164.244.0/23"), "backup")
+        trie.insert(P("184.164.244.0/24"), "specific")
+        trie.remove(P("184.164.244.0/23"))
+        assert trie.lookup(A("184.164.244.10")) == (P("184.164.244.0/24"), "specific")
+        assert trie.node_count() == 25  # root + 24-bit spine, /23 node kept as spine
+
+    def test_churn_does_not_grow_the_trie(self):
+        """10k announce/withdraw cycles end at the pre-churn baseline."""
+        trie = LpmTrie()
+        trie.insert(P("184.164.244.0/23"), "superprefix")  # steady announcement
+        baseline = trie.node_count()
+        flapping = P("184.164.244.0/24")
+        for _ in range(10_000):
+            trie.insert(flapping, "specific")
+            assert trie.remove(flapping)
+        assert trie.node_count() == baseline
+        assert len(trie) == 1
+
+    def test_churn_across_many_prefixes(self):
+        trie = LpmTrie()
+        baseline = trie.node_count()
+        prefixes = [P(f"10.{i}.0.0/16") for i in range(64)]
+        for _ in range(20):
+            for prefix in prefixes:
+                trie.insert(prefix, str(prefix))
+            for prefix in prefixes:
+                assert trie.remove(prefix)
+        assert trie.node_count() == baseline
+        assert len(trie) == 0
+
+
+class TestNoneValues:
+    def test_insert_none_rejected(self):
+        """None would be indistinguishable from 'absent' in get()."""
+        trie = LpmTrie()
+        with pytest.raises(ValueError, match="None"):
+            trie.insert(P("10.0.0.0/8"), None)
+        assert len(trie) == 0
+        assert P("10.0.0.0/8") not in trie
+
+    def test_contains_agrees_with_get(self):
+        trie = LpmTrie()
+        trie.insert(P("10.0.0.0/8"), 0)  # falsy value still counts
+        assert P("10.0.0.0/8") in trie
+        assert trie.get(P("10.0.0.0/8")) == 0
+        trie.remove(P("10.0.0.0/8"))
+        assert P("10.0.0.0/8") not in trie
+        assert trie.get(P("10.0.0.0/8")) is None
 
 
 prefix_strategy = st.builds(

@@ -1,0 +1,146 @@
+"""Serial/parallel equivalence of the sweep runner.
+
+The tentpole guarantee: ``run_sweep(workers=N)`` produces results
+byte-identical (on the canonical JSON export) to ``workers=1``, because
+shared state is computed once in the parent and each cell's seed depends
+only on its own ⟨technique, site⟩ name.
+"""
+
+import json
+
+import pytest
+
+from repro.bgp.session import SessionTiming
+from repro.core.drill import RotationDrill
+from repro.core.experiment import FailoverConfig, FailoverExperiment
+from repro.core.techniques import Anycast, ReactiveAnycast
+from repro.measurement.export import (
+    failover_result_to_dict,
+    sweep_report_to_dict,
+)
+from repro.parallel import SweepCell, matrix, run_sweep
+
+#: Fast pacing: the equivalence property does not depend on dynamics.
+FAST = SessionTiming(latency=0.05, jitter=0.5, mrai=10.0, busy_prob=0.3, fib_delay=1.0)
+
+
+@pytest.fixture(scope="module")
+def experiment(deployment):
+    config = FailoverConfig(
+        probe_duration=40.0,
+        targets_per_site=4,
+        timing=FAST,
+        seed=13,
+    )
+    return FailoverExperiment(deployment.topology, deployment, config)
+
+
+def canonical(results):
+    """The byte-identity yardstick: canonical JSON of every result."""
+    return json.dumps(
+        [failover_result_to_dict(r) for r in results], sort_keys=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def cells(deployment):
+    sites = deployment.site_names[:2]
+    return matrix([Anycast(), ReactiveAnycast()], list(sites))
+
+
+@pytest.fixture(scope="module")
+def serial_report(experiment, cells):
+    return run_sweep(experiment, cells, workers=1)
+
+
+class TestSerialParallelEquality:
+    def test_two_workers_byte_identical(self, experiment, cells, serial_report):
+        parallel = run_sweep(experiment, cells, workers=2)
+        assert parallel.ok
+        assert canonical(parallel.site_results()) == canonical(
+            serial_report.site_results()
+        )
+
+    def test_exported_document_identical_modulo_runtime(
+        self, experiment, cells, serial_report
+    ):
+        """sweep_report_to_dict differs only in the wall-clock fields."""
+        parallel = run_sweep(experiment, cells, workers=2)
+
+        def scrub(report):
+            doc = sweep_report_to_dict(report)
+            doc.pop("wall_s")
+            doc.pop("workers")
+            for cell in doc["cells"]:
+                cell.pop("wall_s")
+            return json.dumps(doc, sort_keys=True)
+
+        assert scrub(parallel) == scrub(serial_report)
+
+    def test_serial_rerun_is_deterministic(self, experiment, cells, serial_report):
+        again = run_sweep(experiment, cells, workers=1)
+        assert canonical(again.site_results()) == canonical(
+            serial_report.site_results()
+        )
+
+
+class TestSweepReport:
+    def test_report_shape(self, cells, serial_report):
+        assert serial_report.ok
+        assert serial_report.failures() == []
+        assert serial_report.workers == 1
+        assert serial_report.wall_s > 0
+        assert len(serial_report.results) == len(cells)
+        serial_report.raise_on_failure()  # must not raise when ok
+
+    def test_results_for_groups_by_technique(self, cells, serial_report):
+        anycast = serial_report.results_for("anycast")
+        reactive = serial_report.results_for("reactive-anycast")
+        assert len(anycast) == len(reactive) == 2
+        assert [r.site for r in anycast] == [c.site for c in cells[:2]]
+        assert all(r.technique == "reactive-anycast" for r in reactive)
+
+    def test_cell_ids(self):
+        cell = SweepCell(Anycast(), "msn")
+        assert cell.cell_id == "anycast/msn"
+
+    def test_exported_document_shape(self, serial_report):
+        doc = sweep_report_to_dict(serial_report)
+        assert set(doc) == {"workers", "wall_s", "cells", "pooled"}
+        assert set(doc["pooled"]) == {"anycast", "reactive-anycast"}
+        for cell in doc["cells"]:
+            assert cell["status"] == "ok"
+            assert "result" in cell
+        for pooled in doc["pooled"].values():
+            assert set(pooled) == {"outcomes", "reconnection_cdf", "failover_cdf"}
+
+
+class TestExperimentFanout:
+    def test_run_all_sites_parallel_matches_serial(self, experiment, deployment):
+        sites = deployment.site_names[:2]
+        technique = Anycast()
+        serial = experiment.run_all_sites(technique, sites=sites)
+        parallel = experiment.run_all_sites(technique, sites=sites, workers=2)
+        assert canonical(parallel) == canonical(serial)
+
+
+class TestDrillFanout:
+    def test_rotation_parallel_matches_serial(self, deployment):
+        def build():
+            return RotationDrill(
+                topology=deployment.topology,
+                deployment=deployment,
+                technique=ReactiveAnycast(),
+                deadline_s=60.0,
+                timing=FAST,
+                seed=7,
+            )
+
+        clients = [
+            info.node_id for info in deployment.topology.web_client_ases()
+        ][:6]
+        serial = build().run_rotation(clients)
+        parallel_drill = build()
+        parallel = parallel_drill.run_rotation(clients, workers=2)
+        assert parallel == serial  # DrillOutcome is a frozen dataclass
+        assert parallel_drill.outcomes == serial  # merged back in site order

@@ -76,6 +76,131 @@ class TestHistogram:
         assert h.quantile(0.01) == 5.0
 
 
+class TestHistogramMerge:
+    def test_state_roundtrip_preserves_quantiles(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0.001, 500.0) for _ in range(5000)]
+        h = Histogram("t")
+        h.observe_many(values)
+        merged = Histogram("t")
+        merged.merge_state(h.state())
+        for q in (0.1, 0.5, 0.95, 0.99):
+            assert merged.quantile(q) == h.quantile(q)
+        assert merged.count == h.count
+        assert merged.min == h.min
+        assert merged.max == h.max
+
+    def test_merge_equals_observing_everything_in_one(self):
+        """Two shards merged bucket-by-bucket match a single histogram
+        that saw every sample -- the parallel-sweep invariant."""
+        rng = random.Random(11)
+        a_values = [rng.uniform(0.01, 100.0) for _ in range(2000)]
+        b_values = [rng.uniform(0.01, 100.0) for _ in range(2000)]
+        combined = Histogram("t")
+        combined.observe_many(a_values)
+        combined.observe_many(b_values)
+        a, b = Histogram("t"), Histogram("t")
+        a.observe_many(a_values)
+        b.observe_many(b_values)
+        merged = Histogram("t")
+        merged.merge_state(a.state())
+        merged.merge_state(b.state())
+        assert merged.count == combined.count
+        assert merged.total == pytest.approx(combined.total)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert merged.quantile(q) == combined.quantile(q)
+
+    def test_merge_state_with_json_string_bucket_keys(self):
+        """States that crossed a JSON boundary have string bucket
+        indices; merge_state must coerce them back."""
+        h = Histogram("t")
+        h.observe_many([1.0, 2.0, 4.0, 0.0, -1.0])
+        state = json.loads(json.dumps(h.state()))
+        assert all(isinstance(k, str) for k in state["buckets"])
+        merged = Histogram("t")
+        merged.merge_state(state)
+        assert merged.count == h.count
+        assert merged.min == h.min
+        assert merged.quantile(0.5) == h.quantile(0.5)
+
+    def test_empty_state_merge_is_identity(self):
+        h = Histogram("t")
+        h.observe(3.0)
+        before = h.state()
+        h.merge_state(Histogram("other").state())
+        assert h.state() == before
+
+    def test_empty_state_min_max_are_none(self):
+        state = Histogram("t").state()
+        assert state["count"] == 0
+        assert state["min"] is None
+        assert state["max"] is None
+
+
+class TestSnapshotMerge:
+    def test_counters_sum_and_histograms_pool(self):
+        worker_a = telemetry.Telemetry()
+        worker_a.inc("bgp.updates_sent", 5)
+        worker_a.observe("phase.probe.wall_s", 1.0)
+        worker_b = telemetry.Telemetry()
+        worker_b.inc("bgp.updates_sent", 7)
+        worker_b.observe("phase.probe.wall_s", 3.0)
+        parent = telemetry.Telemetry()
+        parent.merge_snapshot(worker_a.mergeable_snapshot())
+        parent.merge_snapshot(worker_b.mergeable_snapshot())
+        assert parent.counters["bgp.updates_sent"].value == 12
+        assert parent.histograms["phase.probe.wall_s"].count == 2
+        assert parent.histograms["phase.probe.wall_s"].max == 3.0
+
+    def test_gauges_keep_running_max_and_last_value(self):
+        worker_a = telemetry.Telemetry()
+        worker_a.set_gauge("engine.queue_depth", 9.0)
+        worker_a.set_gauge("engine.queue_depth", 2.0)
+        worker_b = telemetry.Telemetry()
+        worker_b.set_gauge("engine.queue_depth", 4.0)
+        parent = telemetry.Telemetry()
+        parent.merge_snapshot(worker_a.mergeable_snapshot())
+        parent.merge_snapshot(worker_b.mergeable_snapshot())
+        gauge = parent.gauges["engine.queue_depth"]
+        assert gauge.value == 4.0  # last merged snapshot's last value
+        assert gauge.max_value == 9.0  # running max across workers
+
+    def test_mergeable_snapshot_survives_json(self):
+        worker = telemetry.Telemetry()
+        worker.inc("cells.done", 3)
+        worker.observe("cell.wall_s", 0.5)
+        wire = json.loads(json.dumps(worker.mergeable_snapshot()))
+        parent = telemetry.Telemetry()
+        parent.merge_snapshot(wire)
+        assert parent.counters["cells.done"].value == 3
+        assert parent.histograms["cell.wall_s"].count == 1
+
+    def test_merge_order_determinism(self):
+        """Merging the same snapshots in the same (cell) order always
+        yields the same mergeable_snapshot, byte for byte."""
+        snapshots = []
+        for i in range(3):
+            w = telemetry.Telemetry()
+            w.inc("n", i + 1)
+            w.observe("h", float(i + 1))
+            w.set_gauge("g", float(i))
+            snapshots.append(w.mergeable_snapshot())
+        merged = []
+        for _ in range(2):
+            parent = telemetry.Telemetry()
+            for snap in snapshots:
+                parent.merge_snapshot(snap)
+            merged.append(json.dumps(parent.mergeable_snapshot(), sort_keys=True))
+        assert merged[0] == merged[1]
+
+    def test_null_backend_merge_is_noop(self):
+        null = telemetry.registry.NULL
+        assert null.mergeable_snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        null.merge_snapshot({"counters": {"x": 1}})  # must not raise
+
+
 class TestCounterGauge:
     def test_counter_inc(self):
         c = Counter("n")
