@@ -53,6 +53,12 @@ class _FlapState:
     penalty: float = 0.0
     updated_at: float = 0.0
     suppressed: bool = False
+    #: release-callback generation. Each scheduled release captures the
+    #: generation current at scheduling time; a callback whose captured
+    #: generation no longer matches is stale (a newer release supersedes
+    #: it, or the state was released and re-suppressed in between) and
+    #: returns immediately instead of acting on state it no longer owns.
+    generation: int = 0
 
 
 class RouteDamping:
@@ -115,15 +121,22 @@ class RouteDamping:
     def _schedule_release(
         self, prefix: IPv4Prefix, neighbor: str, state: _FlapState
     ) -> None:
-        # Time until the penalty decays to the reuse threshold.
-        ratio = state.penalty / self.config.reuse_threshold
+        # Time until the penalty decays to the reuse threshold, measured
+        # from the *decayed* penalty (state.penalty is as of updated_at,
+        # which may be long past; using it raw overshoots the release).
+        current = self._decayed_penalty(state, self.engine.now)
+        ratio = current / self.config.reuse_threshold
         delay = self.config.half_life * math.log2(max(ratio, 1.0))
-        self.engine.schedule(delay + 1e-6, lambda: self._maybe_release(prefix, neighbor))
+        state.generation += 1
+        generation = state.generation
+        self.engine.schedule(
+            delay + 1e-6, lambda: self._maybe_release(prefix, neighbor, generation)
+        )
 
-    def _maybe_release(self, prefix: IPv4Prefix, neighbor: str) -> None:
+    def _maybe_release(self, prefix: IPv4Prefix, neighbor: str, generation: int) -> None:
         state = self._state.get((prefix, neighbor))
-        if state is None or not state.suppressed:
-            return
+        if state is None or state.generation != generation or not state.suppressed:
+            return  # stale callback: a newer release owns this state
         now = self.engine.now
         penalty = self._decayed_penalty(state, now)
         if penalty <= self.config.reuse_threshold:

@@ -48,6 +48,10 @@ class BgpNetwork:
         self._failed_links: dict[frozenset[str], tuple[str, str, Relationship]] = {}
         #: per-link session timing, for faithful restore after failure
         self._link_timing: dict[frozenset[str], SessionTiming] = {}
+        #: per-link message loss/duplication (fault injection), keyed by
+        #: unordered pair; survives fail/restore cycles so a loss window
+        #: spanning a link flap keeps applying to the fresh sessions.
+        self._link_loss: dict[frozenset[str], tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -115,6 +119,10 @@ class BgpNetwork:
             latency if latency is not None else timing.latency
         )
         self._link_timing[frozenset((a, b))] = timing
+        loss = self._link_loss.get(frozenset((a, b)))
+        if loss is not None:
+            session_ab.loss_prob = session_ba.loss_prob = loss[0]
+            session_ab.dup_prob = session_ba.dup_prob = loss[1]
         router_a.add_session(session_ab)
         router_b.add_session(session_ba)
 
@@ -166,6 +174,71 @@ class BgpNetwork:
             timing=self._link_timing.get(key),
             latency=self.link_latency.get(key),
         )
+
+    def has_link(self, a: str, b: str) -> bool:
+        """True while the adjacency between ``a`` and ``b`` is up."""
+        return b in self.adjacency.get(a, {})
+
+    def is_link_failed(self, a: str, b: str) -> bool:
+        """True when the link is down and awaiting :meth:`restore_link`."""
+        return frozenset((a, b)) in self._failed_links
+
+    def reset_session(self, a: str, b: str) -> None:
+        """Hard-reset the BGP session between ``a`` and ``b`` with
+        immediate re-establishment (hold-timer expiry, process restart).
+
+        Unlike :meth:`fail_link`/:meth:`restore_link` -- which destroy
+        and rebuild the adjacency -- the same :class:`Session` objects
+        survive, modelling one TCP connection bouncing: messages in
+        flight are lost, both Adj-RIB-Ins flush the neighbor's routes
+        and rerun their decision processes, then each side reopens with
+        cleared transfer state and re-advertises its Loc-RIB per export
+        policy.
+        """
+        if b not in self.adjacency.get(a, {}):
+            raise KeyError(f"no link {a!r} <-> {b!r}")
+        router_a = self.routers[a]
+        router_b = self.routers[b]
+        session_ab = router_a.sessions[b]
+        session_ba = router_b.sessions[a]
+        # Down phase: in-flight messages die, learned routes flush, and
+        # the resulting best-path changes export to *other* neighbors
+        # (sends toward the closed session are swallowed).
+        session_ab.closed = True
+        session_ba.closed = True
+        for prefix in router_a.adj_rib_in.drop_neighbor(b):
+            router_a._reselect(prefix)
+        for prefix in router_b.adj_rib_in.drop_neighbor(a):
+            router_b._reselect(prefix)
+        # Up phase: reset session state and exchange full tables, as at
+        # initial establishment.
+        session_ab.reopen()
+        session_ba.reopen()
+        router_a.resync_session(b)
+        router_b.resync_session(a)
+
+    def set_message_loss(
+        self, a: str, b: str, loss_prob: float = 0.0, dup_prob: float = 0.0
+    ) -> None:
+        """Set per-message loss/duplication on the ``a <-> b`` link.
+
+        Applies to both directions of the live sessions and is
+        remembered per link, so sessions rebuilt by
+        :meth:`restore_link` inherit it. Pass zeros to clear.
+        """
+        if not 0.0 <= loss_prob <= 1.0 or not 0.0 <= dup_prob <= 1.0:
+            raise ValueError(
+                f"probabilities must be in [0, 1], got loss={loss_prob} dup={dup_prob}"
+            )
+        key = frozenset((a, b))
+        if loss_prob == 0.0 and dup_prob == 0.0:
+            self._link_loss.pop(key, None)
+        else:
+            self._link_loss[key] = (loss_prob, dup_prob)
+        if self.has_link(a, b):
+            for session in (self.routers[a].sessions[b], self.routers[b].sessions[a]):
+                session.loss_prob = loss_prob
+                session.dup_prob = dup_prob
 
     def fail_node(self, node: str) -> list[str]:
         """Fail every adjacency of ``node`` (router crash / facility

@@ -93,6 +93,18 @@ class BgpRouter:
         self.sessions[session.remote] = session
         # A new neighbor receives our current table (typical of session
         # establishment). Collector taps attached mid-experiment rely on it.
+        self.resync_session(session.remote)
+
+    def resync_session(self, remote: str) -> None:
+        """Advertise the full Loc-RIB toward ``remote`` per export policy.
+
+        Runs at session establishment and after a session reset
+        re-establishes (fault injection): the reopened session starts
+        with an empty ``advertised`` set and the peer's Adj-RIB-In has
+        been flushed, so the full-table exchange brings both ends back
+        in sync.
+        """
+        session = self.sessions[remote]
         for prefix, best in self.loc_rib.items():
             self._export_to(session, prefix, best)
 
@@ -311,6 +323,16 @@ class BgpRouter:
     def best_route(self, prefix: IPv4Prefix) -> Route | None:
         """The currently selected route for ``prefix`` (exact match)."""
         return self.loc_rib.get(prefix)
+
+    def would_export(self, remote: str, prefix: IPv4Prefix) -> Update:
+        """What this router would send ``remote`` for ``prefix`` right now.
+
+        Post-convergence this equals the last update actually sent on the
+        session (every Loc-RIB change exports immediately), which is what
+        the invariant checker compares against the peer's Adj-RIB-In.
+        """
+        session = self.sessions[remote]
+        return self._build_export(session, prefix, self.loc_rib.get(prefix))
 
     def relationship_to(self, remote: str) -> Relationship:
         return self.sessions[remote].relationship

@@ -120,13 +120,43 @@ class Session:
         #: set by link/node failure injection: a closed session neither
         #: sends nor delivers (in-flight messages are lost on arrival).
         self.closed = False
+        #: establishment epoch, bumped by :meth:`reopen`; deliveries
+        #: scheduled under an older epoch are dropped on arrival, so a
+        #: session that closes and reopens does not resurrect messages
+        #: that were in flight when it went down.
+        self.epoch = 0
         #: prefixes currently advertised to the remote end (sent and not
         #: withdrawn), used by the router to decide whether a withdrawal
         #: needs to be sent at all.
         self.advertised: set[IPv4Prefix] = set()
         #: count of updates put on the wire (for tests and diagnostics).
         self.sent_updates = 0
+        #: fault injection: probability that a delivered message is lost
+        #: (dropped on arrival) or duplicated (processed twice). Both are
+        #: 0.0 outside fault drills; the RNG is only consulted when a
+        #: probability is non-zero, so fault-free runs draw identically.
+        self.loss_prob = 0.0
+        self.dup_prob = 0.0
         self._telemetry = telemetry_registry.current()
+
+    def reopen(self) -> None:
+        """Re-establish a closed session (BGP session reset, up phase).
+
+        All transfer state is reset as at initial establishment: nothing
+        is considered advertised, no updates are pending, the MRAI timer
+        is quiet, and messages in flight from the previous epoch are
+        discarded on arrival. The owning router must follow up by
+        re-advertising its Loc-RIB (``BgpRouter.resync_session``), and
+        the remote router must have flushed this session's routes from
+        its Adj-RIB-In (``AdjRibIn.drop_neighbor``) during the down
+        phase, mirroring real session re-establishment.
+        """
+        self.closed = False
+        self.epoch += 1
+        self.advertised.clear()
+        self._pending.clear()
+        self._mrai_running = False
+        self._last_delivery = 0.0
 
     def send(self, update: Update) -> None:
         """Queue ``update`` for the remote end, respecting MRAI pacing.
@@ -196,9 +226,21 @@ class Session:
         self._pending.clear()
 
     def _make_delivery(self, update: Update) -> Callable[[], None]:
+        epoch = self.epoch
+
         def deliver() -> None:
-            # Messages in flight when the link fails are lost.
-            if not self.closed:
+            # Messages in flight when the link fails are lost, and a
+            # reopened session never delivers its previous epoch's mail.
+            if self.closed or epoch != self.epoch:
+                return
+            if self.loss_prob > 0 and self.rng.random() < self.loss_prob:
+                if self._telemetry.enabled:
+                    self._telemetry.inc("bgp.messages_lost")
+                return
+            self._deliver(update)
+            if self.dup_prob > 0 and self.rng.random() < self.dup_prob:
+                if self._telemetry.enabled:
+                    self._telemetry.inc("bgp.messages_duplicated")
                 self._deliver(update)
 
         return deliver

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import sys
 
 from repro.cli.common import (
     add_preflight_arguments,
@@ -13,6 +14,7 @@ from repro.cli.common import (
 )
 from repro.core.scenarios import ScenarioRunner
 from repro.core.techniques import TECHNIQUES, technique_by_name
+from repro.faults import load_fault_plan
 from repro.measurement.catchment import anycast_catchment
 from repro.topology.generator import TopologyParams
 from repro.topology.testbed import build_deployment
@@ -49,6 +51,11 @@ def register(subparsers) -> None:
     parser.add_argument("--duration", type=float, default=300.0)
     parser.add_argument("--grace", type=float, default=30.0,
                         help="make-before-break recovery grace (s)")
+    parser.add_argument(
+        "--faults", metavar="PLAN", default=None,
+        help="JSON fault plan (docs/faults.md) armed at the start of "
+             "the timeline",
+    )
     add_preflight_arguments(parser)
     add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
@@ -56,6 +63,13 @@ def register(subparsers) -> None:
 
 def run(args: argparse.Namespace) -> int:
     with telemetry_session(args):
+        fault_plan = None
+        if args.faults is not None:
+            try:
+                fault_plan = load_fault_plan(args.faults)
+            except (OSError, ValueError) as error:
+                print(f"cannot load fault plan: {error}", file=sys.stderr)
+                return 2
         deployment = build_deployment(params=TopologyParams(seed=args.seed))
         if args.site not in deployment.sites:
             print(f"unknown site {args.site!r}; have {deployment.site_names}")
@@ -86,11 +100,17 @@ def run(args: argparse.Namespace) -> int:
             target_nodes=targets,
             recovery_grace=args.grace,
             seed=args.seed,
+            fault_plan=fault_plan,
         )
         for kind, site, at in events:
             runner.add_event(at, kind, site)
 
         result = runner.run()
+        if fault_plan is not None:
+            line = f"faults injected: {result.faults_injected}"
+            if result.faults_skipped:
+                line += f" ({result.faults_skipped} skipped)"
+            print(line)
         availability = result.availability()
         glyphs = " ._-=^#"
         spark = "".join(

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.bgp.session import SessionTiming
 from repro.core.controller import CdnController
 from repro.core.techniques import Technique
+from repro.faults import FaultInjector, FaultPlan, check_invariants
 from repro.net.addr import IPv4Prefix
 from repro.topology.generator import Topology
 from repro.topology.testbed import SECOND_PREFIX, SUPERPREFIX, CdnDeployment
@@ -31,10 +32,16 @@ class DrillOutcome:
     stranded: int
     #: node ids of the stranded clients, for operator follow-up
     stranded_clients: tuple[str, ...] = ()
+    #: formatted invariant violations found after the drill settled
+    #: (empty when checking was off or everything held)
+    violations: tuple[str, ...] = ()
+    #: faults injected / skipped during this site's drill
+    faults_injected: int = 0
+    faults_skipped: int = 0
 
     @property
     def passed(self) -> bool:
-        return self.stranded == 0
+        return self.stranded == 0 and not self.violations
 
 
 @dataclass(slots=True)
@@ -54,6 +61,16 @@ class RotationDrill:
     detection_delay: float = 2.0
     timing: SessionTiming | None = None
     seed: int = 0
+    #: optional chaos: a fault timeline armed right after the initial
+    #: convergence (fault times are relative to that instant), so faults
+    #: land during each site's failover window
+    fault_plan: FaultPlan | None = None
+    #: audit global consistency (forwarding loops, advertised-sync,
+    #: RIB/FIB coherence) once each site's drill settles; violations are
+    #: recorded on the outcome and fail it
+    check_invariants: bool = False
+    #: bound on the post-deadline settle time before the invariant audit
+    settle_s: float = 3600.0
     outcomes: list[DrillOutcome] = field(default_factory=list)
 
     def run_site(self, site: str, clients: list[str]) -> DrillOutcome:
@@ -69,6 +86,10 @@ class RotationDrill:
         )
         controller.deploy(site)
         network.converge()
+        injector = None
+        if self.fault_plan is not None and len(self.fault_plan):
+            injector = FaultInjector(network, self.fault_plan)
+            injector.arm()
         controller.fail_site(site)
         network.run_for(self.deadline_s)
 
@@ -84,11 +105,21 @@ class RotationDrill:
                 stranded.append(client)
             else:
                 recovered += 1
+        violations: tuple[str, ...] = ()
+        if self.check_invariants:
+            # Let in-flight convergence (and any fault events scheduled
+            # past the deadline) drain before auditing: the invariants
+            # are only meaningful on a quiet network.
+            network.converge(max_seconds=self.settle_s)
+            violations = tuple(check_invariants(network).format_lines())
         outcome = DrillOutcome(
             site=site,
             recovered=recovered,
             stranded=len(stranded),
             stranded_clients=tuple(stranded),
+            violations=violations,
+            faults_injected=injector.injected if injector is not None else 0,
+            faults_skipped=injector.skipped if injector is not None else 0,
         )
         self.outcomes.append(outcome)
         return outcome

@@ -26,6 +26,7 @@ from repro.core.techniques import Technique
 from repro.dataplane.capture import SiteCapture
 from repro.dataplane.forwarding import ForwardingPlane
 from repro.dataplane.ping import Prober
+from repro.faults import FaultInjector, FaultPlan
 from repro.net.addr import IPv4Address
 from repro.topology.generator import Topology
 from repro.topology.testbed import (
@@ -59,6 +60,9 @@ class ScenarioReport:
     bucket_s: float
     #: per bucket: (answered probes, sent probes)
     buckets: list[tuple[int, int]]
+    #: faults injected / skipped by the armed fault plan (0 without one)
+    faults_injected: int = 0
+    faults_skipped: int = 0
 
     def availability(self) -> list[float]:
         """Per-bucket fraction of probes answered."""
@@ -104,6 +108,9 @@ class ScenarioRunner:
     timing: SessionTiming | None = DEFAULT_INTERNET_TIMING
     damping: DampingConfig | None = None
     seed: int = 0
+    #: optional chaos: armed after the initial convergence, so fault
+    #: times share the epoch of the scripted :class:`ScenarioEvent`s
+    fault_plan: FaultPlan | None = None
 
     # ------------------------------------------------------------------
 
@@ -145,6 +152,10 @@ class ScenarioRunner:
         )
         controller.deploy(self.specific_site)
         network.converge()
+        injector = None
+        if self.fault_plan is not None and len(self.fault_plan):
+            injector = FaultInjector(network, self.fault_plan)
+            injector.arm()
 
         plane = ForwardingPlane(network, self.topology)
         capture = SiteCapture()
@@ -170,7 +181,11 @@ class ScenarioRunner:
         prober.start(targets, interval=self.probe_interval, duration=self.duration_s)
         network.run_for(self.duration_s + 30.0)
 
-        return self._report(prober, capture, start)
+        report = self._report(prober, capture, start)
+        if injector is not None:
+            report.faults_injected = injector.injected
+            report.faults_skipped = injector.skipped
+        return report
 
     def _schedule(self, network, controller, prober, event: ScenarioEvent) -> None:
         def fire() -> None:

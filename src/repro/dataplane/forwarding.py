@@ -16,17 +16,25 @@ Two forwarding paths exist, matching how the experiment uses them:
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.bgp.network import BgpNetwork
 from repro.net.addr import IPv4Address
+from repro.net.lpm import LpmTrie
 from repro.net.packet import Packet
+from repro.telemetry import registry as telemetry_registry
 from repro.topology.generator import Topology
 from repro.topology.static_routes import StaticRoutes
 
 #: Packets are dropped after this many AS hops (transient loops).
 MAX_HOPS = 64
+
+#: Newest drops kept for diagnostics; long sweeps churn out drops
+#: indefinitely, so the log is a ring buffer (totals live in the
+#: ``dataplane.drops`` telemetry counter, never truncated).
+DROP_LOG_LIMIT = 1024
 
 
 class DropReason(enum.Enum):
@@ -57,8 +65,15 @@ class ForwardingPlane:
         self.network = network
         self.topology = topology
         self._static_cache: dict[str, StaticRoutes] = {}
-        #: every completed forward, for diagnostics
-        self.drops: list[ForwardResult] = []
+        #: the newest dropped forwards, for diagnostics (ring buffer;
+        #: ``dropped_total`` keeps the full count)
+        self.drops: deque[ForwardResult] = deque(maxlen=DROP_LOG_LIMIT)
+        #: every drop ever recorded, evicted or not
+        self.dropped_total = 0
+        #: client-prefix ownership trie, built lazily from the topology
+        self._owner_trie: LpmTrie[str] | None = None
+        self._owner_trie_ases = -1
+        self._telemetry = telemetry_registry.current()
 
     # ------------------------------------------------------------------
     # Static direction (CDN -> client)
@@ -72,11 +87,22 @@ class ForwardingPlane:
         return routes
 
     def owner_of(self, address: IPv4Address) -> str | None:
-        """The AS node whose client prefix contains ``address``."""
-        for info in self.topology.ases.values():
-            if info.prefix is not None and info.prefix.contains(address):
-                return info.node_id
-        return None
+        """The AS node whose client prefix contains ``address``.
+
+        Backed by a longest-prefix-match trie over the topology's client
+        prefixes (one walk per call) instead of a linear scan of every
+        AS; the trie is rebuilt if ASes were added since it was built.
+        """
+        trie = self._owner_trie
+        if trie is None or self._owner_trie_ases != len(self.topology.ases):
+            trie = LpmTrie()
+            for info in self.topology.ases.values():
+                if info.prefix is not None:
+                    trie.insert(info.prefix, info.node_id)
+            self._owner_trie = trie
+            self._owner_trie_ases = len(self.topology.ases)
+        match = trie.lookup(address)
+        return match[1] if match is not None else None
 
     def latency_to_client(self, src_node: str, dest_node: str) -> float | None:
         """One-way latency along the static policy path, seconds."""
@@ -100,7 +126,7 @@ class ForwardingPlane:
         re-resolves the next hop at that future instant. ``on_complete``
         fires exactly once, with delivery or a drop.
         """
-        self._hop(packet, start_node, (start_node,), on_complete)
+        self._hop(packet, start_node, (start_node,), on_complete, {})
 
     def _hop(
         self,
@@ -108,7 +134,15 @@ class ForwardingPlane:
         node: str,
         path: tuple[str, ...],
         on_complete: Callable[[ForwardResult], None],
+        seen: dict[str, str],
     ) -> None:
+        """One forwarding step. ``seen`` maps each visited node to the
+        next hop its FIB resolved at visit time: revisiting a node whose
+        entry is unchanged means the packet is in a *stable* loop and is
+        dropped immediately as ``LOOP`` instead of burning all
+        ``MAX_HOPS`` hops of simulated latency first. A revisit whose
+        FIB entry changed mid-flight is a transient loop (convergence in
+        progress) and keeps going under the hop-count fallback."""
         engine = self.network.engine
         if len(path) > MAX_HOPS:
             self._finish(
@@ -125,11 +159,17 @@ class ForwardingPlane:
             # Locally originated covering prefix: delivered here.
             self._finish(ForwardResult(node, path, engine.now), on_complete)
             return
+        if seen.get(node) == next_hop:
+            self._finish(
+                ForwardResult(None, path, engine.now, DropReason.LOOP), on_complete
+            )
+            return
+        seen[node] = next_hop
         last_concrete = self._last_concrete(path)
         latency = self.topology.hop_latency(last_concrete, node, next_hop)
         engine.schedule(
             latency,
-            lambda: self._hop(packet, next_hop, path + (next_hop,), on_complete),
+            lambda: self._hop(packet, next_hop, path + (next_hop,), on_complete, seen),
         )
 
     def _last_concrete(self, path: tuple[str, ...]) -> str:
@@ -144,6 +184,9 @@ class ForwardingPlane:
     ) -> None:
         if not result.delivered:
             self.drops.append(result)
+            self.dropped_total += 1
+            if self._telemetry.enabled:
+                self._telemetry.inc("dataplane.drops")
         on_complete(result)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,46 @@
+"""Deterministic fault injection and runtime invariant checking.
+
+See ``docs/faults.md``: a :class:`FaultPlan` (JSON-loadable timeline of
+link flaps, session resets, message loss, delayed FIB downloads, and
+partial site failures) is armed by a :class:`FaultInjector` onto a
+network's event engine, and :func:`check_invariants` audits global
+consistency once the network goes quiet again.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    InvariantReport,
+    Violation,
+    check_invariants,
+    known_prefixes,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    FaultSpec,
+    FibDelay,
+    LinkFlap,
+    MessageLoss,
+    PartialSiteFailure,
+    SessionReset,
+    load_fault_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FibDelay",
+    "InvariantReport",
+    "LinkFlap",
+    "MessageLoss",
+    "PartialSiteFailure",
+    "SessionReset",
+    "Violation",
+    "check_invariants",
+    "known_prefixes",
+    "load_fault_plan",
+]

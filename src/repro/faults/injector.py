@@ -1,0 +1,241 @@
+"""Schedules a :class:`~repro.faults.plan.FaultPlan` onto a network.
+
+The injector is a thin, deterministic translator: every fault becomes
+one or more callbacks on the network's existing :class:`EventEngine`,
+so faults interleave with BGP message delivery, MRAI expiry, and
+probing on the single simulated clock. Determinism rules:
+
+* the injector's own RNG (plan seed) is consulted only inside fault
+  callbacks, whose firing order the engine fixes -- the *network* RNG
+  is never touched, so arming an empty plan perturbs nothing;
+* a fault whose target is in an incompatible state (flapping a link
+  something else already tore down, resetting a session that is gone)
+  is *skipped*, counted, and traced -- never raised -- because fault
+  drills intentionally stack failures.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.bgp.network import BgpNetwork
+from repro.bgp.router import BgpRouter
+from repro.faults.plan import (
+    FaultPlan,
+    FibDelay,
+    LinkFlap,
+    MessageLoss,
+    PartialSiteFailure,
+    SessionReset,
+)
+from repro.telemetry import registry as telemetry_registry
+from repro.telemetry.trace import FaultInjected, FaultSkipped
+
+
+def _link_id(a: str, b: str) -> str:
+    return f"{a}<->{b}"
+
+
+class FaultInjector:
+    """Arms one fault plan against one network.
+
+    Counters: :attr:`injected` / :attr:`skipped` mirror the
+    ``faults.injected`` / ``faults.skipped`` telemetry counters for
+    callers without a telemetry backend installed.
+    """
+
+    def __init__(self, network: BgpNetwork, plan: FaultPlan) -> None:
+        self.network = network
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.injected = 0
+        self.skipped = 0
+        self.armed = False
+        self._telemetry = telemetry_registry.current()
+
+    # ------------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule every fault, relative to the current simulated time."""
+        if self.armed:
+            raise RuntimeError("fault plan already armed")
+        self.armed = True
+        for fault in self.plan.faults:
+            if isinstance(fault, LinkFlap):
+                self._arm_link_flap(fault)
+            elif isinstance(fault, SessionReset):
+                self._arm_session_reset(fault)
+            elif isinstance(fault, MessageLoss):
+                self._arm_message_loss(fault)
+            elif isinstance(fault, FibDelay):
+                self._arm_fib_delay(fault)
+            elif isinstance(fault, PartialSiteFailure):
+                self._arm_partial_site_failure(fault)
+            else:  # pragma: no cover - plan validation rejects these
+                raise TypeError(f"unknown fault {fault!r}")
+
+    # ------------------------------------------------------------------
+
+    def _fired(self, fault: str, target: str, detail: str = "") -> None:
+        self.injected += 1
+        if self._telemetry.enabled:
+            self._telemetry.inc("faults.injected")
+            self._telemetry.emit(
+                FaultInjected(
+                    t=self.network.now, fault=fault, target=target, detail=detail
+                )
+            )
+
+    def _skip(self, fault: str, target: str, reason: str) -> None:
+        self.skipped += 1
+        if self._telemetry.enabled:
+            self._telemetry.inc("faults.skipped")
+            self._telemetry.emit(
+                FaultSkipped(
+                    t=self.network.now, fault=fault, target=target, reason=reason
+                )
+            )
+
+    # ------------------------------------------------------------------
+
+    def _arm_link_flap(self, fault: LinkFlap) -> None:
+        for occurrence in range(fault.repeat):
+            start = fault.at + occurrence * fault.period
+            self.network.engine.schedule(start, lambda f=fault: self._link_down(f))
+            self.network.engine.schedule(
+                start + fault.down_for, lambda f=fault: self._link_up(f)
+            )
+
+    def _link_down(self, fault: LinkFlap) -> None:
+        target = _link_id(fault.a, fault.b)
+        if not self.network.has_link(fault.a, fault.b):
+            self._skip("link-down", target, "link not up")
+            return
+        self.network.fail_link(fault.a, fault.b)
+        self._fired("link-down", target)
+
+    def _link_up(self, fault: LinkFlap) -> None:
+        target = _link_id(fault.a, fault.b)
+        if not self.network.is_link_failed(fault.a, fault.b):
+            self._skip("link-up", target, "link not in failed state")
+            return
+        self.network.restore_link(fault.a, fault.b)
+        self._fired("link-up", target)
+
+    def _arm_session_reset(self, fault: SessionReset) -> None:
+        self.network.engine.schedule(fault.at, lambda: self._session_reset(fault))
+
+    def _session_reset(self, fault: SessionReset) -> None:
+        target = _link_id(fault.a, fault.b)
+        if not self.network.has_link(fault.a, fault.b):
+            self._skip("session-reset", target, "link not up")
+            return
+        self.network.reset_session(fault.a, fault.b)
+        self._fired("session-reset", target)
+
+    def _arm_message_loss(self, fault: MessageLoss) -> None:
+        engine = self.network.engine
+        engine.schedule(fault.at, lambda: self._loss_start(fault))
+        engine.schedule(fault.at + fault.duration, lambda: self._loss_end(fault))
+
+    def _loss_start(self, fault: MessageLoss) -> None:
+        self.network.set_message_loss(
+            fault.a, fault.b, loss_prob=fault.loss_prob, dup_prob=fault.dup_prob
+        )
+        self._fired(
+            "message-loss-start",
+            _link_id(fault.a, fault.b),
+            f"loss={fault.loss_prob} dup={fault.dup_prob}",
+        )
+
+    def _loss_end(self, fault: MessageLoss) -> None:
+        self.network.set_message_loss(fault.a, fault.b)
+        self._fired("message-loss-end", _link_id(fault.a, fault.b))
+
+    def _arm_fib_delay(self, fault: FibDelay) -> None:
+        engine = self.network.engine
+        engine.schedule(fault.at, lambda: self._fib_delay_start(fault))
+        engine.schedule(fault.at + fault.duration, lambda: self._fib_delay_end(fault))
+
+    def _fib_delay_start(self, fault: FibDelay) -> None:
+        router = self.network.routers.get(fault.node)
+        if router is None:
+            self._skip("fib-delay-start", fault.node, "unknown node")
+            return
+        self._push_fib_delay(router, fault.extra_delay)
+        self._fired("fib-delay-start", fault.node, f"extra={fault.extra_delay}")
+
+    def _fib_delay_end(self, fault: FibDelay) -> None:
+        router = self.network.routers.get(fault.node)
+        if router is None or not self._pop_fib_delay(router):
+            self._skip("fib-delay-end", fault.node, "no delay window active")
+            return
+        self._fired("fib-delay-end", fault.node)
+
+    def _push_fib_delay(self, router: BgpRouter, extra: float) -> None:
+        """Wrap the router's FIB-delay sampler to add ``extra`` seconds.
+
+        The original sampler (if any) still runs, so its RNG draw count
+        -- and therefore every later draw in the run -- is unchanged.
+        """
+        original = router.fib_delay_source
+        engine = self.network.engine
+
+        def delayed():
+            if original is None:
+                return engine, extra
+            sampled_engine, delay = original()
+            return sampled_engine, delay + extra
+
+        delayed._fault_original = original  # type: ignore[attr-defined]
+        router.fib_delay_source = delayed
+
+    def _pop_fib_delay(self, router: BgpRouter) -> bool:
+        source = router.fib_delay_source
+        if source is None or not hasattr(source, "_fault_original"):
+            return False
+        router.fib_delay_source = source._fault_original
+        return True
+
+    def _arm_partial_site_failure(self, fault: PartialSiteFailure) -> None:
+        engine = self.network.engine
+        # The neighbor subset is chosen at fire time (over the sorted,
+        # then-current adjacency) so earlier faults are accounted for.
+        chosen: list[tuple[str, str]] = []
+        engine.schedule(fault.at, lambda: self._partial_down(fault, chosen))
+        engine.schedule(
+            fault.at + fault.down_for, lambda: self._partial_up(fault, chosen)
+        )
+
+    def _partial_down(
+        self, fault: PartialSiteFailure, chosen: list[tuple[str, str]]
+    ) -> None:
+        neighbors = sorted(self.network.adjacency.get(fault.node, {}))
+        if not neighbors:
+            self._skip("partial-site-down", fault.node, "node has no live links")
+            return
+        count = max(1, min(len(neighbors) - 1, math.ceil(fault.fraction * len(neighbors))))
+        if len(neighbors) == 1:
+            count = 1  # a single-homed node's "partial" failure is total
+        picked = self.rng.sample(neighbors, count)
+        for neighbor in sorted(picked):
+            self.network.fail_link(fault.node, neighbor)
+            chosen.append((fault.node, neighbor))
+        self._fired(
+            "partial-site-down", fault.node, f"links={','.join(n for _, n in chosen)}"
+        )
+
+    def _partial_up(
+        self, fault: PartialSiteFailure, chosen: list[tuple[str, str]]
+    ) -> None:
+        if not chosen:
+            self._skip("partial-site-up", fault.node, "nothing was failed")
+            return
+        restored = []
+        for node, neighbor in chosen:
+            if self.network.is_link_failed(node, neighbor):
+                self.network.restore_link(node, neighbor)
+                restored.append(neighbor)
+        chosen.clear()
+        self._fired("partial-site-up", fault.node, f"links={','.join(restored)}")

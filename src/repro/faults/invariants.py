@@ -1,0 +1,242 @@
+"""Runtime invariant checking for fault drills.
+
+After a network goes quiet (``BgpNetwork.converge``), three global
+consistency properties must hold no matter what fault sequence ran:
+
+* **forwarding-loop** -- for every known prefix, following each
+  router's FIB hop-by-hop terminates (delivery or no-route); a cycle is
+  a stable forwarding loop, the §3 failure mode transient convergence
+  may cause but a quiet network never may;
+* **advertised-sync** -- each session's ``advertised`` set matches what
+  the peer's Adj-RIB-In actually holds from this router. The one
+  legitimate asymmetry is AS-path loop rejection (the peer discards an
+  announcement carrying its own ASN -- routine between CDN sites that
+  share one ASN), which the checker recognises by re-deriving the
+  export;
+* **rib-fib-coherence** -- every Loc-RIB best route is installed in the
+  FIB (next hop matching ``learned_from``) and the FIB holds nothing
+  the Loc-RIB does not -- i.e. all delayed RIB->FIB downloads landed
+  and none resurrected a dead route.
+
+Checks are only meaningful on an idle engine: in-flight updates and
+pending MRAI flushes make both ends legitimately disagree mid-run.
+``message_loss`` faults genuinely break ``advertised-sync`` until a
+session reset restores coherence -- that is the point of the invariant.
+
+Violations are returned *and* reported through telemetry (the
+``invariants.violations`` counter and ``InvariantViolated`` trace
+events) so traces of chaos drills carry their own verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.messages import Announcement
+from repro.bgp.network import BgpNetwork
+from repro.net.addr import IPv4Prefix
+from repro.telemetry import registry as telemetry_registry
+from repro.telemetry.trace import InvariantViolated
+
+FORWARDING_LOOP = "forwarding-loop"
+ADVERTISED_SYNC = "advertised-sync"
+RIB_FIB_COHERENCE = "rib-fib-coherence"
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One invariant breach at one node."""
+
+    invariant: str
+    node: str
+    detail: str
+
+    def format(self) -> str:
+        return f"{self.invariant} @ {self.node}: {self.detail}"
+
+
+@dataclass(slots=True)
+class InvariantReport:
+    """All violations found by one :func:`check_invariants` pass."""
+
+    violations: list[Violation]
+    #: prefixes the checker examined (diagnostics)
+    prefixes_checked: int = 0
+    sessions_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format_lines(self) -> list[str]:
+        return [v.format() for v in self.violations]
+
+
+def known_prefixes(network: BgpNetwork) -> list[IPv4Prefix]:
+    """Every prefix any router has selected or originates, sorted."""
+    prefixes: set[IPv4Prefix] = set()
+    for router in network.routers.values():
+        prefixes.update(router.originated_prefixes())
+        for prefix, _ in router.loc_rib.items():
+            prefixes.add(prefix)
+    return sorted(prefixes)
+
+
+def check_invariants(
+    network: BgpNetwork, prefixes: list[IPv4Prefix] | None = None
+) -> InvariantReport:
+    """Run all invariants against a quiet network.
+
+    Call after :meth:`BgpNetwork.converge`; on a busy engine the
+    transfer-state checks report transients as violations.
+    """
+    if prefixes is None:
+        prefixes = known_prefixes(network)
+    violations: list[Violation] = []
+    violations.extend(_forwarding_loops(network, prefixes))
+    sessions = _advertised_sync(network, violations)
+    _rib_fib_coherence(network, violations)
+    telemetry = telemetry_registry.current()
+    if telemetry.enabled:
+        telemetry.inc("invariants.checks")
+        for violation in violations:
+            telemetry.inc("invariants.violations")
+            telemetry.emit(
+                InvariantViolated(
+                    t=network.now,
+                    invariant=violation.invariant,
+                    node=violation.node,
+                    detail=violation.detail,
+                )
+            )
+    return InvariantReport(
+        violations=violations,
+        prefixes_checked=len(prefixes),
+        sessions_checked=sessions,
+    )
+
+
+# ----------------------------------------------------------------------
+# forwarding-loop
+
+
+def _forwarding_loops(
+    network: BgpNetwork, prefixes: list[IPv4Prefix]
+) -> list[Violation]:
+    violations: list[Violation] = []
+    for prefix in prefixes:
+        host = 1 if prefix.num_addresses() > 1 else 0
+        address = prefix.address(host)
+        # verdict memo: True = this node's walk terminates, False = it
+        # reaches a cycle; memoised so the whole pass is O(nodes).
+        verdicts: dict[str, bool] = {}
+        reported: set[frozenset[str]] = set()
+        for start in sorted(network.routers):
+            if start in verdicts:
+                continue
+            walk: list[str] = []
+            position: dict[str, int] = {}
+            node = start
+            verdict = True
+            while True:
+                if node in verdicts:
+                    verdict = verdicts[node]
+                    break
+                if node in position:
+                    cycle = walk[position[node] :]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        violations.append(
+                            Violation(
+                                FORWARDING_LOOP,
+                                node,
+                                f"prefix {prefix}: {' -> '.join(cycle + [node])}",
+                            )
+                        )
+                    verdict = False
+                    break
+                position[node] = len(walk)
+                walk.append(node)
+                next_hop = network.next_hop(node, address)
+                if next_hop is None or next_hop == node:
+                    break
+                node = next_hop
+            for visited in walk:
+                verdicts[visited] = verdict
+    return violations
+
+
+# ----------------------------------------------------------------------
+# advertised-sync
+
+
+def _advertised_sync(network: BgpNetwork, violations: list[Violation]) -> int:
+    checked = 0
+    for node_id in sorted(network.routers):
+        router = network.routers[node_id]
+        for remote in sorted(router.sessions):
+            session = router.sessions[remote]
+            if session.closed:
+                continue
+            checked += 1
+            peer = network.routers[remote]
+            peer_has = {
+                prefix
+                for prefix in peer.adj_rib_in.prefixes()
+                if peer.adj_rib_in.route_from(prefix, node_id) is not None
+            }
+            for prefix in sorted(peer_has - session.advertised):
+                violations.append(
+                    Violation(
+                        ADVERTISED_SYNC,
+                        node_id,
+                        f"peer {remote} holds {prefix} from us but the session "
+                        "never advertised it",
+                    )
+                )
+            for prefix in sorted(session.advertised - peer_has):
+                update = router.would_export(remote, prefix)
+                if isinstance(update, Announcement) and peer.asn in update.as_path:
+                    continue  # peer rejected the announcement as an AS-path loop
+                violations.append(
+                    Violation(
+                        ADVERTISED_SYNC,
+                        node_id,
+                        f"session to {remote} advertised {prefix} but the peer's "
+                        "Adj-RIB-In does not hold it",
+                    )
+                )
+    return checked
+
+
+# ----------------------------------------------------------------------
+# rib-fib-coherence
+
+
+def _rib_fib_coherence(network: BgpNetwork, violations: list[Violation]) -> None:
+    for node_id in sorted(network.routers):
+        router = network.routers[node_id]
+        loc = dict(router.loc_rib.items())
+        for prefix in sorted(loc):
+            best = loc[prefix]
+            expected = best.learned_from or node_id
+            installed = router.fib.get(prefix)
+            if installed != expected:
+                violations.append(
+                    Violation(
+                        RIB_FIB_COHERENCE,
+                        node_id,
+                        f"{prefix}: Loc-RIB selects via {expected!r} but FIB "
+                        f"holds {installed!r}",
+                    )
+                )
+        for prefix, next_hop in sorted(router.fib.items()):
+            if prefix not in loc:
+                violations.append(
+                    Violation(
+                        RIB_FIB_COHERENCE,
+                        node_id,
+                        f"{prefix}: FIB holds {next_hop!r} with no Loc-RIB route",
+                    )
+                )

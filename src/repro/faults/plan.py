@@ -1,0 +1,252 @@
+"""Declarative fault timelines.
+
+A :class:`FaultPlan` is a list of scheduled faults -- link flaps,
+session resets, per-link message loss/duplication, delayed FIB
+downloads, partial site failures -- expressed as plain data so a plan
+can live in a JSON file, travel across the parallel sweep's process
+boundary unchanged, and inject byte-identically into every run that
+shares a seed (see ``docs/faults.md`` for the schema and the
+determinism guarantees).
+
+Fault times are *relative to arming*: the injector schedules every
+fault as a delay from the simulated instant :meth:`FaultInjector.arm`
+is called (the drill arms after its initial convergence, the scenario
+runner at the start of its timeline), so one plan is meaningful across
+experiments whose absolute clocks differ.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import ClassVar, Type, Union
+
+#: kind string -> fault dataclass, populated by ``_register``
+FAULT_KINDS: dict[str, Type["FaultSpec"]] = {}
+
+
+def _register(cls):
+    FAULT_KINDS[cls.kind] = cls
+    return cls
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """Base fault: ``at`` is seconds after the injector arms."""
+
+    kind: ClassVar[str] = "fault"
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.at}")
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["kind"] = self.kind
+        return data
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class LinkFlap(FaultSpec):
+    """Take the ``a <-> b`` adjacency down for ``down_for`` seconds,
+    ``repeat`` times, one flap every ``period`` seconds."""
+
+    kind: ClassVar[str] = "link_flap"
+
+    a: str = ""
+    b: str = ""
+    down_for: float = 10.0
+    repeat: int = 1
+    period: float = 0.0
+
+    def __post_init__(self) -> None:
+        FaultSpec.__post_init__(self)
+        if not self.a or not self.b:
+            raise ValueError("link_flap needs both link ends 'a' and 'b'")
+        if self.down_for <= 0:
+            raise ValueError(f"down_for must be positive, got {self.down_for}")
+        if self.repeat < 1:
+            raise ValueError(f"repeat must be >= 1, got {self.repeat}")
+        if self.repeat > 1 and self.period <= self.down_for:
+            raise ValueError(
+                f"period ({self.period}) must exceed down_for ({self.down_for}) "
+                "when repeating, or flaps would overlap"
+            )
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class SessionReset(FaultSpec):
+    """Bounce the BGP session between ``a`` and ``b``: in-flight
+    messages die, both Adj-RIB-Ins flush, then the session reopens and
+    each side re-advertises its Loc-RIB (full re-establishment)."""
+
+    kind: ClassVar[str] = "session_reset"
+
+    a: str = ""
+    b: str = ""
+
+    def __post_init__(self) -> None:
+        FaultSpec.__post_init__(self)
+        if not self.a or not self.b:
+            raise ValueError("session_reset needs both link ends 'a' and 'b'")
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class MessageLoss(FaultSpec):
+    """For ``duration`` seconds, each message delivered on the
+    ``a <-> b`` link is independently lost with ``loss_prob`` and
+    duplicated with ``dup_prob``.
+
+    Lost updates leave the two ends genuinely inconsistent (real BGP
+    rides TCP and cannot lose individual updates while the session
+    lives) -- follow a loss window with a :class:`SessionReset` to model
+    the hold-timer expiry that restores coherence, or expect the
+    ``advertised-sync`` invariant to flag the divergence.
+    """
+
+    kind: ClassVar[str] = "message_loss"
+
+    a: str = ""
+    b: str = ""
+    duration: float = 30.0
+    loss_prob: float = 0.0
+    dup_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        FaultSpec.__post_init__(self)
+        if not self.a or not self.b:
+            raise ValueError("message_loss needs both link ends 'a' and 'b'")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if not 0.0 <= self.loss_prob <= 1.0 or not 0.0 <= self.dup_prob <= 1.0:
+            raise ValueError(
+                f"probabilities must be in [0, 1], got loss={self.loss_prob} "
+                f"dup={self.dup_prob}"
+            )
+        if self.loss_prob == 0.0 and self.dup_prob == 0.0:
+            raise ValueError("message_loss with zero probabilities does nothing")
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class FibDelay(FaultSpec):
+    """For ``duration`` seconds, every RIB->FIB download at ``node``
+    takes ``extra_delay`` additional seconds (an overloaded line card /
+    slow BGP speaker)."""
+
+    kind: ClassVar[str] = "fib_delay"
+
+    node: str = ""
+    duration: float = 30.0
+    extra_delay: float = 5.0
+
+    def __post_init__(self) -> None:
+        FaultSpec.__post_init__(self)
+        if not self.node:
+            raise ValueError("fib_delay needs a 'node'")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.extra_delay <= 0:
+            raise ValueError(f"extra_delay must be positive, got {self.extra_delay}")
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class PartialSiteFailure(FaultSpec):
+    """Fail a ``fraction`` of ``node``'s adjacencies for ``down_for``
+    seconds (losing some but not all of a site's transit/peering --
+    the partial failures §4's clean site-withdrawal model skips).
+
+    The subset is chosen deterministically from the plan seed over the
+    node's sorted neighbor list at fire time.
+    """
+
+    kind: ClassVar[str] = "partial_site_failure"
+
+    node: str = ""
+    fraction: float = 0.5
+    down_for: float = 30.0
+
+    def __post_init__(self) -> None:
+        FaultSpec.__post_init__(self)
+        if not self.node:
+            raise ValueError("partial_site_failure needs a 'node'")
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError(
+                f"fraction must be in (0, 1) -- use link_flap/fail_node for "
+                f"total failures -- got {self.fraction}"
+            )
+        if self.down_for <= 0:
+            raise ValueError(f"down_for must be positive, got {self.down_for}")
+
+
+Fault = Union[LinkFlap, SessionReset, MessageLoss, FibDelay, PartialSiteFailure]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An ordered fault timeline plus the seed for its own randomness.
+
+    The plan's seed drives only fault-side choices (which links a
+    partial failure picks); the network's RNG is never reseeded, so a
+    run with an armed-but-empty plan is byte-identical to a run with no
+    plan at all.
+    """
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan must be a JSON object, got {type(data).__name__}")
+        unknown = set(data) - {"seed", "faults"}
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys {sorted(unknown)}")
+        faults = []
+        for index, entry in enumerate(data.get("faults", [])):
+            if not isinstance(entry, dict):
+                raise ValueError(f"faults[{index}] must be an object")
+            kind = entry.get("kind")
+            fault_cls = FAULT_KINDS.get(kind)
+            if fault_cls is None:
+                raise ValueError(
+                    f"faults[{index}]: unknown fault kind {kind!r}; "
+                    f"have {sorted(FAULT_KINDS)}"
+                )
+            kwargs = {k: v for k, v in entry.items() if k != "kind"}
+            try:
+                faults.append(fault_cls(**kwargs))
+            except (TypeError, ValueError) as error:
+                raise ValueError(f"faults[{index}] ({kind}): {error}") from error
+        return cls(faults=tuple(faults), seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def load_fault_plan(path: str | Path) -> FaultPlan:
+    """Read a fault plan from a JSON file (see ``docs/faults.md``)."""
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        return FaultPlan.from_json(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: invalid JSON: {error}") from error
+    except ValueError as error:
+        raise ValueError(f"{path}: {error}") from error

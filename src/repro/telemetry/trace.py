@@ -148,6 +148,45 @@ class SiteFailed(TraceEvent):
 
 @_register
 @dataclass(frozen=True, slots=True)
+class FaultInjected(TraceEvent):
+    """The fault-injection layer fired one scheduled fault."""
+
+    kind: ClassVar[str] = "fault_injected"
+
+    fault: str  # "link-down" | "link-up" | "session-reset" | ...
+    target: str  # link ("a<->b") or node the fault acted on
+    detail: str = ""
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class FaultSkipped(TraceEvent):
+    """A scheduled fault found its target in an incompatible state
+    (e.g. flapping a link something else already failed) and did
+    nothing; skips are traced so a plan that silently no-ops is
+    visible."""
+
+    kind: ClassVar[str] = "fault_skipped"
+
+    fault: str
+    target: str
+    reason: str = ""
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class InvariantViolated(TraceEvent):
+    """The runtime invariant checker found an inconsistency."""
+
+    kind: ClassVar[str] = "invariant_violated"
+
+    invariant: str  # "forwarding-loop" | "advertised-sync" | "rib-fib-coherence"
+    node: str
+    detail: str = ""
+
+
+@_register
+@dataclass(frozen=True, slots=True)
 class PhaseStart(TraceEvent):
     kind: ClassVar[str] = "phase_start"
 

@@ -89,6 +89,50 @@ class TestRouteDampingUnit:
         damping.record_flap(PFX, "n2")
         assert damping.flaps == 2
 
+    def test_pending_events_bounded_under_sustained_flapping(self):
+        """Sustained flapping must not accumulate release callbacks:
+        at most one release event per suppressed (prefix, neighbor) is
+        outstanding, however many flaps arrive."""
+        engine, damping, _ = self.make()
+        for _ in range(200):
+            damping.record_flap(PFX, "n1")
+        assert damping.is_suppressed(PFX, "n1")
+        assert engine.pending <= 1
+
+    def test_stale_release_is_inert_across_cycles(self):
+        """Flapping across suppress/release cycles: stale callbacks from
+        earlier generations return without touching newer state, the
+        event count stays bounded, and the final release still fires."""
+        engine, damping, released = self.make()
+        for _ in range(6):
+            damping.record_flap(PFX, "n1")
+            damping.record_flap(PFX, "n1")
+            assert damping.is_suppressed(PFX, "n1")
+            assert engine.pending <= 1
+            engine.run_until_idle()  # decay out; release fires
+            assert not damping.is_suppressed(PFX, "n1")
+        assert len(released) == 6
+
+    def test_release_timed_from_decayed_penalty(self):
+        """A release scheduled long after the last flap must measure the
+        decay from the *current* penalty, not the stored one."""
+        engine, damping, released = self.make()
+        damping.record_flap(PFX, "n1")
+        damping.record_flap(PFX, "n1")
+        engine.run_until_idle()
+        assert released == [PFX]
+        # Suppress again on top of the residual 750: two flaps reach
+        # 2750, which decays to the 750 reuse level in
+        # 30 * log2(2750/750) ~= 56 s. The reschedule inside
+        # _maybe_release must measure from the *decayed* penalty;
+        # measuring from the stored one overshoots to ~90 s.
+        start = engine.now
+        damping.record_flap(PFX, "n1")
+        damping.record_flap(PFX, "n1")
+        engine.run_until_idle()
+        assert len(released) == 2
+        assert 54.0 < engine.now - start < 62.0
+
 
 class TestDampingInNetwork:
     def flapping_network(self) -> BgpNetwork:

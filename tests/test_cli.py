@@ -93,6 +93,27 @@ class TestCommands:
         assert code == 1
         assert "FAILURES" in capsys.readouterr().out
 
+    def test_drill_fault_flags_parse(self):
+        args = build_parser().parse_args(
+            ["drill", "--faults", "plan.json", "--check-invariants"]
+        )
+        assert args.faults == "plan.json"
+        assert args.check_invariants
+        args = build_parser().parse_args(["scenario", "--faults", "plan.json"])
+        assert args.faults == "plan.json"
+
+    def test_drill_missing_fault_plan_rejected(self, capsys):
+        code = main(["drill", "--faults", "/nonexistent/plan.json", "--clients", "3"])
+        assert code == 2
+        assert "cannot load fault plan" in capsys.readouterr().err
+
+    def test_drill_invalid_fault_plan_rejected(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"faults": [{"kind": "meteor_strike", "at": 1.0}]}')
+        code = main(["drill", "--faults", str(plan), "--clients", "3"])
+        assert code == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
 
 class TestExtendedCommands:
     def test_scenario_event_parsing(self):

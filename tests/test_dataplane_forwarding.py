@@ -2,7 +2,11 @@
 
 
 from repro.bgp.policy import Relationship
-from repro.dataplane.forwarding import DropReason, ForwardingPlane
+from repro.dataplane.forwarding import (
+    DROP_LOG_LIMIT,
+    DropReason,
+    ForwardingPlane,
+)
 from repro.net.addr import IPv4Address, IPv4Prefix
 from repro.net.packet import Packet
 from repro.topology.generator import Topology, TopologyParams
@@ -87,6 +91,50 @@ class TestEventDrivenForward:
         assert not results[0].delivered
         assert plane.drops
 
+    def test_stable_loop_dropped_as_loop(self):
+        """A packet caught in a *stable* loop (every revisited FIB entry
+        unchanged) is dropped as LOOP on the first revisit instead of
+        burning all MAX_HOPS hops to a TTL_EXCEEDED drop."""
+        topo, net, plane = make_plane(2)
+        net.router("r0").fib.insert(PFX, "r1")
+        net.router("r1").fib.insert(PFX, "r0")
+        results = []
+        plane.forward("r0", Packet(src=ADDR, dst=ADDR), results.append)
+        net.converge()
+        assert not results[0].delivered
+        assert results[0].drop_reason is DropReason.LOOP
+        assert len(results[0].path) <= 4  # r0 r1 r0 -- not MAX_HOPS
+
+    def test_transient_loop_keeps_forwarding(self):
+        """Revisiting a node whose FIB entry *changed* mid-flight is a
+        transient loop (convergence in progress): the packet keeps going
+        and can still be delivered."""
+        topo, net, plane = make_plane(2)
+        net.router("r0").fib.insert(PFX, "r1")
+        net.router("r1").fib.insert(PFX, "r0")
+        results = []
+        plane.forward("r0", Packet(src=ADDR, dst=ADDR), results.append)
+        # Reroute r0 while the packet is on its way to r1 and back: the
+        # revisit of r0 sees a *different* next hop (itself -- a local
+        # delivery), so it is not treated as a stable loop.
+        net.router("r0").fib.insert(PFX, "r0")
+        net.converge()
+        assert results[0].delivered_to == "r0"
+        assert results[0].drop_reason is None
+        assert results[0].path.count("r0") == 2
+
+    def test_drop_log_bounded_under_churn(self):
+        """Long sweeps churn out drops forever; the diagnostic log is a
+        ring buffer while the totals keep counting."""
+        topo, net, plane = make_plane(2)  # no route announced: every
+        results = []                      # forward is a NO_ROUTE drop
+        for _ in range(DROP_LOG_LIMIT + 100):
+            plane.forward("r1", Packet(src=ADDR, dst=ADDR), results.append)
+        net.converge()
+        assert len(results) == DROP_LOG_LIMIT + 100
+        assert plane.dropped_total == DROP_LOG_LIMIT + 100
+        assert len(plane.drops) == DROP_LOG_LIMIT
+
     def test_packet_rerouted_mid_flight(self):
         """A packet in flight follows whatever FIBs say at each hop: if
         the route flips while it travels, the delivery point changes --
@@ -129,3 +177,34 @@ class TestClientDirection:
         first = plane.static_routes_to("r0")
         second = plane.static_routes_to("r0")
         assert first is second
+
+    def test_owner_of_matches_linear_scan(self, topology):
+        """The LPM-trie lookup must agree with a scan of every AS's
+        client prefix, including longest-match and miss cases."""
+        net = topology.build_network(seed=0, timing=FAST_TIMING)
+        plane = ForwardingPlane(net, topology)
+
+        def scan(address):
+            best = None
+            for info in topology.ases.values():
+                if info.prefix is not None and info.prefix.contains(address):
+                    if best is None or info.prefix.length > best[0]:
+                        best = (info.prefix.length, info.node_id)
+            return best[1] if best is not None else None
+
+        probes = [IPv4Address.parse("11.11.11.11")]  # guaranteed miss
+        for info in topology.ases.values():
+            if info.prefix is not None:
+                probes.append(info.prefix.address(1))
+        for address in probes:
+            assert plane.owner_of(address) == scan(address)
+
+    def test_owner_trie_rebuilds_when_ases_added(self):
+        topo, net, plane = make_plane()
+        late_prefix = IPv4Prefix.parse("12.0.0.0/24")
+        assert plane.owner_of(late_prefix.address(1)) is None  # trie built
+        topo.add_as(
+            AsInfo("late", 900, AsClass.STUB, Location("us-west", 0, 0),
+                   prefix=late_prefix)
+        )
+        assert plane.owner_of(late_prefix.address(1)) == "late"

@@ -26,7 +26,7 @@ class TestPublicApi:
         [
             "repro.net", "repro.bgp", "repro.topology", "repro.dns",
             "repro.dataplane", "repro.core", "repro.measurement", "repro.cli",
-            "repro.configgen",
+            "repro.configgen", "repro.faults",
         ],
     )
     def test_subpackage_all_resolves(self, module_name):
@@ -40,6 +40,8 @@ class TestPublicApi:
             "repro", "repro.net.addr", "repro.net.lpm", "repro.bgp.router",
             "repro.bgp.session", "repro.bgp.damping", "repro.core.techniques",
             "repro.core.experiment", "repro.core.scenarios",
+            "repro.faults.plan", "repro.faults.injector",
+            "repro.faults.invariants",
             "repro.measurement.control", "repro.measurement.divergence",
         ],
     )

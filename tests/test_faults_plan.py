@@ -1,0 +1,120 @@
+"""Tests for declarative fault plans (validation + JSON round-trip)."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FibDelay,
+    LinkFlap,
+    MessageLoss,
+    PartialSiteFailure,
+    SessionReset,
+    load_fault_plan,
+)
+
+
+def full_plan() -> FaultPlan:
+    return FaultPlan(
+        seed=42,
+        faults=(
+            LinkFlap(at=1.0, a="r0", b="r1", down_for=5.0, repeat=2, period=20.0),
+            SessionReset(at=2.0, a="r1", b="r2"),
+            MessageLoss(at=3.0, a="r0", b="r1", duration=10.0, loss_prob=0.5),
+            FibDelay(at=4.0, node="r2", duration=10.0, extra_delay=2.0),
+            PartialSiteFailure(at=5.0, node="r1", fraction=0.5, down_for=5.0),
+        ),
+    )
+
+
+class TestValidation:
+    def test_all_kinds_registered(self):
+        assert set(FAULT_KINDS) == {
+            "link_flap", "session_reset", "message_loss", "fib_delay",
+            "partial_site_failure",
+        }
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SessionReset(at=-1.0, a="r0", b="r1")
+
+    def test_link_flap_needs_both_ends(self):
+        with pytest.raises(ValueError, match="both link ends"):
+            LinkFlap(at=0.0, a="r0")
+
+    def test_link_flap_overlapping_repeats_rejected(self):
+        with pytest.raises(ValueError, match="period"):
+            LinkFlap(at=0.0, a="r0", b="r1", down_for=10.0, repeat=3, period=5.0)
+
+    def test_message_loss_zero_probabilities_rejected(self):
+        with pytest.raises(ValueError, match="does nothing"):
+            MessageLoss(at=0.0, a="r0", b="r1")
+
+    def test_message_loss_probability_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            MessageLoss(at=0.0, a="r0", b="r1", loss_prob=1.5)
+
+    def test_fib_delay_requires_positive_extra(self):
+        with pytest.raises(ValueError, match="extra_delay"):
+            FibDelay(at=0.0, node="r0", extra_delay=0.0)
+
+    def test_partial_fraction_must_be_partial(self):
+        with pytest.raises(ValueError, match="fraction"):
+            PartialSiteFailure(at=0.0, node="r0", fraction=1.0)
+        with pytest.raises(ValueError, match="fraction"):
+            PartialSiteFailure(at=0.0, node="r0", fraction=0.0)
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        plan = full_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_dict(
+                {"faults": [{"kind": "meteor_strike", "at": 1.0}]}
+            )
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"faults": [], "color": "red"})
+
+    def test_bad_field_reports_index_and_kind(self):
+        with pytest.raises(ValueError, match=r"faults\[0\] \(link_flap\)"):
+            FaultPlan.from_dict(
+                {"faults": [{"kind": "link_flap", "at": 1.0, "a": "r0",
+                             "b": "r1", "down_for": -1.0}]}
+            )
+
+    def test_empty_plan(self):
+        plan = FaultPlan.from_dict({})
+        assert len(plan) == 0
+        assert plan.seed == 0
+
+
+class TestLoading:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(full_plan().to_json(), encoding="utf-8")
+        assert load_fault_plan(path) == full_plan()
+
+    def test_invalid_json_mentions_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope", encoding="utf-8")
+        with pytest.raises(ValueError, match="broken.json"):
+            load_fault_plan(path)
+
+    def test_example_plan_parses(self):
+        from pathlib import Path
+
+        example = Path(__file__).resolve().parent.parent / "examples" / "faultplan.json"
+        plan = load_fault_plan(example)
+        assert len(plan) == 6
+
+    def test_plans_are_picklable(self):
+        """Plans ride inside RotationDrill into sweep worker processes."""
+        import pickle
+
+        plan = full_plan()
+        assert pickle.loads(pickle.dumps(plan)) == plan
