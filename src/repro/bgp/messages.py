@@ -22,6 +22,11 @@ class Announcement:
     as_path: tuple[int, ...]
     origin_node: str
     med: int = 0
+    #: provenance id of the root action this update descends from
+    #: (0 = uncaused background activity); carried hop to hop so
+    #: ``repro explain`` can reconstruct causal chains, never consulted
+    #: by the protocol logic itself.
+    cause: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,6 +35,8 @@ class Withdrawal:
 
     sender: str
     prefix: IPv4Prefix
+    #: provenance id (see :class:`Announcement.cause`)
+    cause: int = 0
 
 
 Update = Announcement | Withdrawal

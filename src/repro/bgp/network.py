@@ -8,7 +8,10 @@ routers or sessions.
 
 from __future__ import annotations
 
+import itertools
 import random
+from contextlib import contextmanager
+from typing import Iterator
 
 from repro.bgp.damping import DampingConfig, RouteDamping
 from repro.bgp.engine import EventEngine
@@ -17,6 +20,7 @@ from repro.bgp.router import BgpRouter
 from repro.bgp.session import Session, SessionTiming
 from repro.net.addr import IPv4Address, IPv4Prefix
 from repro.telemetry import registry as telemetry_registry
+from repro.telemetry.trace import RootCause
 
 
 class BgpNetwork:
@@ -35,6 +39,13 @@ class BgpNetwork:
         telemetry = telemetry_registry.current()
         if telemetry.enabled:
             telemetry.bind_clock(lambda: self.engine.now)
+        self._telemetry = telemetry
+        #: provenance: monotone cause-id allocator (per network, so a
+        #: fresh simulation always numbers its chains from 1 and serial
+        #: vs parallel sweeps stay byte-identical) and the currently
+        #: active root cause (0 = none).
+        self._cause_counter = itertools.count(1)
+        self.current_cause = 0
         self.default_timing = default_timing or SessionTiming()
         self.damping_config = damping
         self.routers: dict[str, BgpRouter] = {}
@@ -52,6 +63,51 @@ class BgpNetwork:
         #: unordered pair; survives fail/restore cycles so a loss window
         #: spanning a link flap keeps applying to the fresh sessions.
         self._link_loss: dict[frozenset[str], tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Provenance
+
+    def new_cause(self, action: str, target: str, detail: str = "") -> int:
+        """Allocate a fresh cause id for a root action and trace it.
+
+        The id is threaded through every BGP message, route selection,
+        and FIB install the action generates, so ``repro explain`` can
+        reconstruct the chain. Allocation happens whether or not
+        telemetry is enabled (it is deterministic and side-effect-free
+        for the simulation), but the :class:`RootCause` event is only
+        emitted into an enabled trace.
+        """
+        cause = next(self._cause_counter)
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                RootCause(
+                    t=self.engine.now, cause=cause, action=action,
+                    target=target, detail=detail,
+                )
+            )
+        return cause
+
+    def root_cause(self, action: str, target: str, detail: str = "") -> int:
+        """The active cause, or a fresh root when none is active.
+
+        Root actions nest: a scenario event wraps a controller reaction
+        which wraps ``withdraw_all`` -- only the outermost allocates,
+        everything inside inherits via :meth:`caused_by`.
+        """
+        if self.current_cause:
+            return self.current_cause
+        return self.new_cause(action, target, detail)
+
+    @contextmanager
+    def caused_by(self, cause: int) -> Iterator[int]:
+        """Scope ``cause`` as the active root for a ``with`` block."""
+        previous = self.current_cause
+        self.current_cause = cause
+        try:
+            yield cause
+        finally:
+            self.current_cause = previous
 
     # ------------------------------------------------------------------
     # Construction
@@ -72,7 +128,7 @@ class BgpNetwork:
             router.damping = RouteDamping(
                 self.engine,
                 self.damping_config,
-                on_release=lambda prefix, r=router: r._reselect(prefix),
+                on_release=lambda prefix, r=router: r.reselect_uncaused(prefix),
                 owner=node_id,
             )
         self.routers[node_id] = router
@@ -123,8 +179,10 @@ class BgpNetwork:
         if loss is not None:
             session_ab.loss_prob = session_ba.loss_prob = loss[0]
             session_ab.dup_prob = session_ba.dup_prob = loss[1]
-        router_a.add_session(session_ab)
-        router_b.add_session(session_ba)
+        # Establishment resync inherits the active cause (e.g. the
+        # link-up fault that rebuilt this adjacency).
+        router_a.add_session(session_ab, cause=self.current_cause)
+        router_b.add_session(session_ba, cause=self.current_cause)
 
     def add_provider(self, customer: str, provider: str, **kwargs) -> None:
         """Convenience: make ``provider`` a provider of ``customer``."""
@@ -146,11 +204,12 @@ class BgpNetwork:
         """
         if b not in self.adjacency.get(a, {}):
             raise KeyError(f"no link {a!r} <-> {b!r}")
+        cause = self.root_cause("link-down", f"{a}<->{b}")
         # Close the reverse directions first so in-flight deliveries die.
         self.routers[a].sessions[b].closed = True
         self.routers[b].sessions[a].closed = True
-        self.routers[a].remove_session(b)
-        self.routers[b].remove_session(a)
+        self.routers[a].remove_session(b, cause=cause)
+        self.routers[b].remove_session(a, cause=cause)
         relationship = self.adjacency[a].pop(b)
         self.adjacency[b].pop(a)
         self._failed_links[frozenset((a, b))] = (a, b, relationship)
@@ -167,13 +226,14 @@ class BgpNetwork:
         if stored is None:
             raise KeyError(f"link {a!r} <-> {b!r} was not failed")
         orig_a, orig_b, relationship = stored
-        self.connect(
-            orig_a,
-            orig_b,
-            relationship,
-            timing=self._link_timing.get(key),
-            latency=self.link_latency.get(key),
-        )
+        with self.caused_by(self.root_cause("link-up", f"{a}<->{b}")):
+            self.connect(
+                orig_a,
+                orig_b,
+                relationship,
+                timing=self._link_timing.get(key),
+                latency=self.link_latency.get(key),
+            )
 
     def has_link(self, a: str, b: str) -> bool:
         """True while the adjacency between ``a`` and ``b`` is up."""
@@ -197,6 +257,7 @@ class BgpNetwork:
         """
         if b not in self.adjacency.get(a, {}):
             raise KeyError(f"no link {a!r} <-> {b!r}")
+        cause = self.root_cause("session-reset", f"{a}<->{b}")
         router_a = self.routers[a]
         router_b = self.routers[b]
         session_ab = router_a.sessions[b]
@@ -206,16 +267,20 @@ class BgpNetwork:
         # (sends toward the closed session are swallowed).
         session_ab.closed = True
         session_ba.closed = True
+        router_a._current_cause = cause
         for prefix in router_a.adj_rib_in.drop_neighbor(b):
             router_a._reselect(prefix)
+        router_b._current_cause = cause
         for prefix in router_b.adj_rib_in.drop_neighbor(a):
             router_b._reselect(prefix)
         # Up phase: reset session state and exchange full tables, as at
-        # initial establishment.
+        # initial establishment. The resync exports carry the reset's
+        # cause across the new delivery epoch, so provenance survives
+        # the reopen.
         session_ab.reopen()
         session_ba.reopen()
-        router_a.resync_session(b)
-        router_b.resync_session(a)
+        router_a.resync_session(b, cause=cause)
+        router_b.resync_session(a, cause=cause)
 
     def set_message_loss(
         self, a: str, b: str, loss_prob: float = 0.0, dup_prob: float = 0.0
@@ -261,19 +326,24 @@ class BgpNetwork:
     ) -> None:
         """Originate ``prefix`` at ``node`` (optionally prepended/scoped,
         optionally carrying a MED for supporting neighbors)."""
+        cause = self.root_cause("announce", node, str(prefix))
         self.routers[node].originate(
-            prefix, prepend=prepend, neighbors=neighbors, med=med
+            prefix, prepend=prepend, neighbors=neighbors, med=med, cause=cause
         )
 
     def withdraw(self, node: str, prefix: IPv4Prefix) -> bool:
         """Withdraw ``node``'s origination of ``prefix``."""
-        return self.routers[node].withdraw_origin(prefix)
+        cause = self.root_cause("withdraw", node, str(prefix))
+        return self.routers[node].withdraw_origin(prefix, cause=cause)
 
     def withdraw_all(self, node: str) -> list[IPv4Prefix]:
         """Withdraw every prefix originated at ``node`` (site failure)."""
-        prefixes = self.routers[node].originated_prefixes()
-        for prefix in prefixes:
-            self.routers[node].withdraw_origin(prefix)
+        router = self.routers[node]
+        prefixes = router.originated_prefixes()
+        if prefixes:
+            cause = self.root_cause("withdraw-all", node)
+            for prefix in prefixes:
+                router.withdraw_origin(prefix, cause=cause)
         return prefixes
 
     # ------------------------------------------------------------------

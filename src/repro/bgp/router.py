@@ -25,7 +25,7 @@ from repro.bgp.policy import (
 from repro.bgp.rib import AdjRibIn, LocRib, decide
 from repro.bgp.route import Route
 from repro.bgp.session import Session
-from repro.net.addr import IPv4Prefix
+from repro.net.addr import IPv4Prefix, cached_str
 from repro.net.lpm import LpmTrie
 from repro.telemetry import registry as telemetry_registry
 from repro.telemetry.trace import FibInstalled, RouteSelected
@@ -77,12 +77,27 @@ class BgpRouter:
         self.fib_delay_source: Callable[[], tuple["EventEngine", float]] | None = None
         #: optional route flap damping, wired by BgpNetwork
         self.damping: "RouteDamping | None" = None
-        self._telemetry = telemetry_registry.current()
+        #: provenance id of the root action currently being processed;
+        #: set on entry (receive / originate / withdraw / session ops)
+        #: and attached to every selection, FIB install, and export it
+        #: triggers. 0 marks uncaused background activity.
+        self._current_cause = 0
+        telemetry = telemetry_registry.current()
+        self._telemetry = telemetry
+        # Hot-path counters resolved once: receive/_reselect/_install_fib
+        # run tens of thousands of times per experiment, and the dict
+        # lookup inside Telemetry.inc() is measurable at that volume.
+        if telemetry.enabled:
+            self._updates_received = telemetry.counter("bgp.updates_received")
+            self._rib_churn = telemetry.counter("bgp.rib_churn")
+            self._fib_installs = telemetry.counter("bgp.fib_installs")
+        else:
+            self._updates_received = self._rib_churn = self._fib_installs = None
 
     # ------------------------------------------------------------------
     # Wiring
 
-    def add_session(self, session: Session) -> None:
+    def add_session(self, session: Session, cause: int = 0) -> None:
         """Register the outgoing half of an adjacency toward a neighbor."""
         if session.local != self.node_id:
             raise ValueError(
@@ -93,22 +108,24 @@ class BgpRouter:
         self.sessions[session.remote] = session
         # A new neighbor receives our current table (typical of session
         # establishment). Collector taps attached mid-experiment rely on it.
-        self.resync_session(session.remote)
+        self.resync_session(session.remote, cause=cause)
 
-    def resync_session(self, remote: str) -> None:
+    def resync_session(self, remote: str, cause: int = 0) -> None:
         """Advertise the full Loc-RIB toward ``remote`` per export policy.
 
         Runs at session establishment and after a session reset
         re-establishes (fault injection): the reopened session starts
         with an empty ``advertised`` set and the peer's Adj-RIB-In has
         been flushed, so the full-table exchange brings both ends back
-        in sync.
+        in sync. ``cause`` tags the resync's exports with the reset's
+        provenance id, so causal chains span the reopen epoch.
         """
+        self._current_cause = cause
         session = self.sessions[remote]
         for prefix, best in self.loc_rib.items():
             self._export_to(session, prefix, best)
 
-    def remove_session(self, remote: str) -> None:
+    def remove_session(self, remote: str, cause: int = 0) -> None:
         """Tear down the adjacency toward ``remote`` (link/node failure).
 
         All routes learned from the neighbor are flushed and the decision
@@ -119,6 +136,7 @@ class BgpRouter:
         if session is None:
             raise KeyError(f"{self.node_id!r} has no session to {remote!r}")
         session.closed = True
+        self._current_cause = cause
         for prefix in self.adj_rib_in.drop_neighbor(remote):
             self._reselect(prefix)
 
@@ -131,6 +149,7 @@ class BgpRouter:
         prepend: int = 0,
         neighbors: frozenset[str] | None = None,
         med: int = 0,
+        cause: int = 0,
     ) -> None:
         """Originate ``prefix``, replacing any previous origination of it.
 
@@ -142,17 +161,19 @@ class BgpRouter:
         previous = self._origins.get(prefix)
         config = OriginConfig(prepend=prepend, neighbors=neighbors, med=med)
         self._origins[prefix] = config
+        self._current_cause = cause
         self._reselect(prefix)
         if previous is not None and previous != config:
             best = self.loc_rib.get(prefix)
             for session in self.sessions.values():
                 self._export_to(session, prefix, best)
 
-    def withdraw_origin(self, prefix: IPv4Prefix) -> bool:
+    def withdraw_origin(self, prefix: IPv4Prefix, cause: int = 0) -> bool:
         """Stop originating ``prefix``; True if it was originated."""
         if prefix not in self._origins:
             return False
         del self._origins[prefix]
+        self._current_cause = cause
         self._reselect(prefix)
         return True
 
@@ -180,8 +201,11 @@ class BgpRouter:
         """Process one update from a neighbor (called by session delivery)."""
         if update.sender not in self.sessions:
             raise ValueError(f"{self.node_id!r}: update from unknown neighbor {update.sender!r}")
-        if self._telemetry.enabled:
-            self._telemetry.inc("bgp.updates_received")
+        # Inherit the update's provenance: whatever this router now
+        # re-selects, installs, or re-exports descends from the same root.
+        self._current_cause = update.cause
+        if self._updates_received is not None:
+            self._updates_received.inc()
         if self.damping is not None:
             self._account_flap(update)
         if isinstance(update, Announcement):
@@ -216,6 +240,16 @@ class BgpRouter:
         elif (update.as_path, update.med) != (existing.as_path, existing.med):
             self.damping.record_flap(update.prefix, update.sender)
 
+    def reselect_uncaused(self, prefix: IPv4Prefix) -> None:
+        """Re-run selection with no provenance (cause 0).
+
+        Timer-driven re-selections -- damping suppression releases --
+        have no single root action to attribute to; their downstream
+        churn is tagged as background activity.
+        """
+        self._current_cause = 0
+        self._reselect(prefix)
+
     def _reselect(self, prefix: IPv4Prefix) -> None:
         """Re-run the decision process and propagate any best-path change."""
         exclude = None
@@ -228,14 +262,15 @@ class BgpRouter:
         self.loc_rib.set(prefix, best)
         telemetry = self._telemetry
         if telemetry.enabled:
-            telemetry.inc("bgp.rib_churn")
+            self._rib_churn.inc()
             telemetry.emit(
                 RouteSelected(
                     t=telemetry.now(),
                     node=self.node_id,
-                    prefix=str(prefix),
+                    prefix=cached_str(prefix),
                     via=best.learned_from if best is not None else None,
                     as_path_len=len(best.as_path) if best is not None else 0,
+                    cause=self._current_cause,
                 )
             )
         self._schedule_fib_install(prefix)
@@ -246,18 +281,22 @@ class BgpRouter:
         """Install the current best into the FIB, after the RIB->FIB lag.
 
         The install callback re-reads the Loc-RIB at fire time, so a burst
-        of best-path changes converges the FIB to the final state.
+        of best-path changes converges the FIB to the final state. The
+        provenance id is captured at schedule time: the install belongs
+        to the root action that triggered this selection, even though it
+        fires after the router has moved on to other work.
         """
+        cause = self._current_cause
         if self.fib_delay_source is None:
-            self._install_fib(prefix)
+            self._install_fib(prefix, cause)
             return
         engine, delay = self.fib_delay_source()
         if delay <= 0:
-            self._install_fib(prefix)
+            self._install_fib(prefix, cause)
         else:
-            engine.schedule(delay, lambda: self._install_fib(prefix))
+            engine.schedule(delay, lambda: self._install_fib(prefix, cause))
 
-    def _install_fib(self, prefix: IPv4Prefix) -> None:
+    def _install_fib(self, prefix: IPv4Prefix, cause: int = 0) -> None:
         best = self.loc_rib.get(prefix)
         if best is None:
             self.fib.remove(prefix)
@@ -267,13 +306,14 @@ class BgpRouter:
             self.fib.insert(prefix, next_hop)
         telemetry = self._telemetry
         if telemetry.enabled:
-            telemetry.inc("bgp.fib_installs")
+            self._fib_installs.inc()
             telemetry.emit(
                 FibInstalled(
                     t=telemetry.now(),
                     node=self.node_id,
-                    prefix=str(prefix),
+                    prefix=cached_str(prefix),
                     next_hop=next_hop,
+                    cause=cause,
                 )
             )
 
@@ -288,7 +328,8 @@ class BgpRouter:
     def _build_export(
         self, session: Session, prefix: IPv4Prefix, best: Route | None
     ) -> Update:
-        withdrawal = Withdrawal(sender=self.node_id, prefix=prefix)
+        cause = self._current_cause
+        withdrawal = Withdrawal(sender=self.node_id, prefix=prefix, cause=cause)
         if best is None:
             return withdrawal
         med = 0
@@ -315,6 +356,7 @@ class BgpRouter:
             as_path=exported.as_path,
             origin_node=best.origin_node,
             med=med,
+            cause=cause,
         )
 
     # ------------------------------------------------------------------

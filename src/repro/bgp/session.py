@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.bgp.messages import Announcement, Update, Withdrawal
 from repro.bgp.policy import Relationship
-from repro.net.addr import IPv4Prefix
+from repro.net.addr import IPv4Prefix, cached_str
 from repro.telemetry import registry as telemetry_registry
 from repro.telemetry.trace import BgpUpdateSent
 
@@ -137,7 +137,17 @@ class Session:
         #: probability is non-zero, so fault-free runs draw identically.
         self.loss_prob = 0.0
         self.dup_prob = 0.0
-        self._telemetry = telemetry_registry.current()
+        telemetry = telemetry_registry.current()
+        self._telemetry = telemetry
+        # send()/_flush() run per BGP update; resolve the counters once
+        # instead of a dict lookup per call.
+        if telemetry.enabled:
+            self._updates_sent_counter = telemetry.counter("bgp.updates_sent")
+            self._mrai_deferrals = telemetry.counter("bgp.mrai_deferrals")
+            self._updates_suppressed = telemetry.counter("bgp.updates_suppressed")
+        else:
+            self._updates_sent_counter = None
+            self._mrai_deferrals = self._updates_suppressed = None
 
     def reopen(self) -> None:
         """Re-establish a closed session (BGP session reset, up phase).
@@ -168,16 +178,15 @@ class Session:
         """
         if self.closed:
             return
-        telemetry = self._telemetry
         prefix = update.prefix
         if isinstance(update, Withdrawal) and prefix not in self.advertised:
             self._pending.pop(prefix, None)
-            if telemetry.enabled:
-                telemetry.inc("bgp.updates_suppressed")
+            if self._updates_suppressed is not None:
+                self._updates_suppressed.inc()
             return
         self._pending[prefix] = update
-        if self._mrai_running and telemetry.enabled:
-            telemetry.inc("bgp.mrai_deferrals")
+        if self._mrai_running and self._mrai_deferrals is not None:
+            self._mrai_deferrals.inc()
         if not self._mrai_running:
             if (
                 self.mrai > 0
@@ -209,17 +218,18 @@ class Session:
             self._last_delivery = deliver_at
             self.sent_updates += 1
             if telemetry.enabled:
-                telemetry.inc("bgp.updates_sent")
+                self._updates_sent_counter.inc()
                 telemetry.emit(
                     BgpUpdateSent(
                         t=self.engine.now,
                         sender=self.local,
                         receiver=self.remote,
-                        prefix=str(update.prefix),
+                        prefix=cached_str(update.prefix),
                         update="announce" if isinstance(update, Announcement) else "withdraw",
                         as_path_len=len(update.as_path)
                         if isinstance(update, Announcement)
                         else 0,
+                        cause=update.cause,
                     )
                 )
             self.engine.schedule_at(deliver_at, self._make_delivery(update))

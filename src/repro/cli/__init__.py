@@ -16,6 +16,10 @@
     repro configgen -t proactive-prepending -o configs/
     repro failover --trace out.jsonl   # record a structured trace
     repro trace summarize out.jsonl    # per-phase/per-router breakdown
+    repro explain out.jsonl --site sea1     # causal chains: why did routing change?
+    repro report out.jsonl --json ledger.json  # user-seconds lost, classified
+    repro failover --profile prof.json      # hot-path wall-clock attribution
+    repro profile prof.json                 # ... rendered as a report
     repro lint src/repro               # determinism linter (DET rules)
 
 Every command accepts ``--seed`` and the experiment ones accept scale
@@ -40,6 +44,7 @@ from repro.cli import (
     drill,
     failover,
     lint_cmd,
+    obs_cmd,
     playbook_cmd,
     scenario,
     sweep_cmd,
@@ -75,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
         scenario,
         configgen_cmd,
         trace_cmd,
+        obs_cmd,
         lint_cmd,
     ):
         module.register(subparsers)

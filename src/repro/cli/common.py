@@ -6,6 +6,7 @@ Every experiment subcommand (``failover``, ``compare``, ``drill``,
     --trace PATH        record a structured JSONL trace of the run
     --trace-limit N     keep only the newest N events (ring buffer)
     --metrics           print the counter/histogram dump after the run
+    --profile PATH      write per-event-kind wall-clock attribution JSON
 
 :func:`telemetry_session` turns those into an installed
 :class:`~repro.telemetry.Telemetry` for the duration of the command and
@@ -20,6 +21,7 @@ findings unless ``--no-preflight`` was given.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 from contextlib import contextmanager
@@ -50,6 +52,11 @@ def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--metrics", action="store_true",
         help="print counters and timing histograms after the run",
+    )
+    group.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="write per-event-kind wall-clock attribution to PATH as JSON "
+             "(inspect with 'repro profile PATH')",
     )
 
 
@@ -150,21 +157,30 @@ def telemetry_session(args: argparse.Namespace) -> Iterator[telemetry.Telemetry 
     is written to the requested path and the metrics dump printed.
     """
     trace_path = getattr(args, "trace", None)
+    profile_path = getattr(args, "profile", None)
     want_metrics = getattr(args, "metrics", False)
-    if trace_path is None and not want_metrics:
+    if trace_path is None and profile_path is None and not want_metrics:
         yield None
         return
     tracer = None
-    if trace_path is not None:
+    for path, label in ((trace_path, "trace"), (profile_path, "profile")):
+        if path is None:
+            continue
         # Fail fast on an unwritable path rather than after the run.
         try:
-            with open(trace_path, "w"):
+            with open(path, "w"):
                 pass
         except OSError as error:
-            print(f"cannot write trace file {trace_path}: {error}", file=sys.stderr)
+            print(f"cannot write {label} file {path}: {error}", file=sys.stderr)
             raise SystemExit(2) from error
+    if trace_path is not None:
         tracer = telemetry.TraceRecorder(capacity=getattr(args, "trace_limit", None))
-    active = telemetry.Telemetry(tracer=tracer)
+    profiler = None
+    if profile_path is not None:
+        from repro.obs.profiler import EventProfiler
+
+        profiler = EventProfiler()
+    active = telemetry.Telemetry(tracer=tracer, profiler=profiler)
     with telemetry.using(active):
         yield active
     if tracer is not None:
@@ -175,6 +191,11 @@ def telemetry_session(args: argparse.Namespace) -> Iterator[telemetry.Telemetry 
                 "trace ring buffer evicted %d events (kept the newest %d)",
                 tracer.dropped, len(tracer),
             )
+    if profiler is not None:
+        with open(profile_path, "w") as handle:
+            json.dump(profiler.state(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        logger.info("wrote profile to %s", profile_path)
     if want_metrics:
         print()
         print(active.render())

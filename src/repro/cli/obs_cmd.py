@@ -1,0 +1,130 @@
+"""``repro explain`` / ``repro report`` / ``repro profile``.
+
+The observability trio on top of a recorded run:
+
+* ``explain`` reconstructs causal chains (root action -> withdrawals ->
+  re-selection -> FIB installs -> DNS/catchment shift) from a trace;
+* ``report`` folds probe events into the availability ledger
+  (user-seconds lost per technique, classified blackhole / loop /
+  wrong-site);
+* ``profile`` renders a ``--profile PATH`` JSON (per-event-kind wall
+  time and phase sim-vs-wall breakdown).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.obs import (
+    AvailabilityLedger,
+    explain,
+    render_explanation,
+    render_profile,
+    render_report,
+)
+from repro.telemetry import read_jsonl
+
+
+def register(subparsers) -> None:
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="reconstruct causal chains from a trace (why did routing change?)",
+    )
+    explain_parser.add_argument("path", help="JSONL trace file (from --trace PATH)")
+    explain_parser.add_argument(
+        "--prefix", default=None, metavar="P",
+        help="only chains that moved this prefix (e.g. 184.164.254.0/24)",
+    )
+    explain_parser.add_argument(
+        "--site", default=None, metavar="S",
+        help="only chains rooted at, failing, or shifting catchment for this site",
+    )
+    explain_parser.set_defaults(func=run_explain)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="availability ledger: user-seconds lost per technique, classified",
+    )
+    report_parser.add_argument("path", help="JSONL trace file (from --trace PATH)")
+    report_parser.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_path",
+        help="also write the ledger as canonical JSON to PATH ('-' for stdout)",
+    )
+    report_parser.set_defaults(func=run_report)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="per-event-kind wall-clock attribution (from --profile PATH)",
+    )
+    profile_parser.add_argument("path", help="profile JSON file (from --profile PATH)")
+    profile_parser.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="event kinds to list in the top-cost table",
+    )
+    profile_parser.set_defaults(func=run_profile)
+
+
+def _print(text: str) -> None:
+    try:
+        print(text)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; silence the
+        # interpreter's shutdown flush too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+
+
+def _read_trace(path: str):
+    try:
+        return read_jsonl(path)
+    except FileNotFoundError:
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return None
+    except ValueError as error:
+        print(f"unreadable trace: {error}", file=sys.stderr)
+        return None
+
+
+def run_explain(args: argparse.Namespace) -> int:
+    events = _read_trace(args.path)
+    if events is None:
+        return 2
+    chains = explain(events, prefix=args.prefix, site=args.site)
+    _print(render_explanation(chains, prefix=args.prefix, site=args.site))
+    # No matching chain is a finding in itself (and lets CI assert the
+    # opposite cheaply): exit nonzero so scripts can branch on it.
+    return 0 if chains else 1
+
+
+def run_report(args: argparse.Namespace) -> int:
+    events = _read_trace(args.path)
+    if events is None:
+        return 2
+    ledger = AvailabilityLedger.from_events(events)
+    if args.json_path == "-":
+        sys.stdout.write(ledger.to_json())
+    else:
+        _print(render_report(ledger))
+        if args.json_path is not None:
+            with open(args.json_path, "w") as handle:
+                handle.write(ledger.to_json())
+    return 0
+
+
+def run_profile(args: argparse.Namespace) -> int:
+    try:
+        with open(args.path) as handle:
+            state = json.load(handle)
+    except FileNotFoundError:
+        print(f"no such profile file: {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"unreadable profile: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(state, dict) or "callbacks" not in state:
+        print(f"not a profile file (missing 'callbacks'): {args.path}", file=sys.stderr)
+        return 2
+    _print(render_profile(state, top=args.top))
+    return 0

@@ -6,7 +6,7 @@ import argparse
 import os
 import sys
 
-from repro.telemetry import read_jsonl, render_summary, summarize_trace
+from repro.telemetry import filter_events, read_jsonl, render_summary, summarize_trace
 
 
 def register(subparsers) -> None:
@@ -23,6 +23,18 @@ def register(subparsers) -> None:
         "--top", type=int, default=10, metavar="N",
         help="routers to list in the top-senders table",
     )
+    summarize.add_argument(
+        "--prefix", default=None, metavar="P",
+        help="only events carrying this prefix (e.g. 184.164.254.0/24)",
+    )
+    summarize.add_argument(
+        "--site", default=None, metavar="S",
+        help="only events naming this site (catchment shifts match either end)",
+    )
+    summarize.add_argument(
+        "--kind", default=None, metavar="K",
+        help="only events of this kind (e.g. bgp_update_sent, probe_lost)",
+    )
     summarize.set_defaults(func=run_summarize)
 
 
@@ -35,9 +47,22 @@ def run_summarize(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"unreadable trace: {error}")
         return 2
+    filters = {
+        "prefix": getattr(args, "prefix", None),
+        "site": getattr(args, "site", None),
+        "kind": getattr(args, "kind", None),
+    }
+    header = ""
+    if any(value is not None for value in filters.values()):
+        before = len(events)
+        events = filter_events(events, **filters)
+        scope = ", ".join(
+            f"{name}={value}" for name, value in filters.items() if value is not None
+        )
+        header = f"filtered to {len(events)} of {before} events ({scope})\n"
     summary = summarize_trace(events)
     try:
-        print(render_summary(summary, top=args.top))
+        print(header + render_summary(summary, top=args.top))
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; silence the interpreter's
         # shutdown flush too.

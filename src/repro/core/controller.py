@@ -18,7 +18,7 @@ from repro.core.techniques import Technique
 from repro.dns.authoritative import AuthoritativeServer, StaticMapping
 from repro.net.addr import IPv4Prefix
 from repro.telemetry import registry as telemetry_registry
-from repro.telemetry.trace import SiteFailed
+from repro.telemetry.trace import DnsRecordChanged, SiteFailed
 from repro.topology.testbed import CdnDeployment
 
 
@@ -75,9 +75,11 @@ class CdnController:
         if specific_site not in self.deployment.sites:
             raise KeyError(f"unknown site {specific_site!r}")
         self.deployed_site = specific_site
-        self.technique.announce_normal(
-            self.network, self.deployment, specific_site, self.prefix, self.superprefix
-        )
+        cause = self.network.root_cause("deploy", specific_site, self.technique.name)
+        with self.network.caused_by(cause):
+            self.technique.announce_normal(
+                self.network, self.deployment, specific_site, self.prefix, self.superprefix
+            )
 
     def recover_site(self, site: str) -> None:
         """Bring a failed site back: re-make the normal announcements and
@@ -93,19 +95,22 @@ class CdnController:
         if self.deployed_site is None:
             raise RuntimeError("recover_site before deploy")
         self.down_sites.discard(site)
-        self.technique.announce_normal(
-            self.network,
-            self.deployment,
-            self.deployed_site,
-            self.prefix,
-            self.superprefix,
-        )
+        cause = self.network.root_cause("site-recover", site)
+        with self.network.caused_by(cause):
+            self.technique.announce_normal(
+                self.network,
+                self.deployment,
+                self.deployed_site,
+                self.prefix,
+                self.superprefix,
+            )
 
         def rollback() -> None:
-            self.technique.on_recovery(
-                self.network, self.deployment, site, self.prefix, self.superprefix
-            )
-            self._enforce_down_sites()
+            with self.network.caused_by(cause):
+                self.technique.on_recovery(
+                    self.network, self.deployment, site, self.prefix, self.superprefix
+                )
+                self._enforce_down_sites()
 
         if self.recovery_grace > 0:
             # Make-before-break: let the recovered site's routes
@@ -119,6 +124,17 @@ class CdnController:
             address = self._removed_dns.pop(site, None)
             if address is not None:
                 self.dns.set_site_address(site, address)
+                telemetry = telemetry_registry.current()
+                if telemetry.enabled:
+                    telemetry.emit(
+                        DnsRecordChanged(
+                            t=self.network.now,
+                            site=site,
+                            action="restore",
+                            address=str(address),
+                            cause=cause,
+                        )
+                    )
             policy = self.dns.policy
             if site == self.deployed_site and isinstance(policy, StaticMapping):
                 policy.default_site = site
@@ -136,10 +152,15 @@ class CdnController:
             raise KeyError(f"unknown site {site!r}")
         node = self.deployment.site_node(site)
         router = self.network.routers[node]
+        cause = self.network.root_cause("site-drain", site, f"prepend={prepend}")
         for prefix in router.originated_prefixes():
             config = router.origin_config(prefix)
             router.originate(
-                prefix, prepend=prepend, neighbors=config.neighbors, med=config.med
+                prefix,
+                prepend=prepend,
+                neighbors=config.neighbors,
+                med=config.med,
+                cause=cause,
             )
 
     def undrain_site(self, site: str) -> None:
@@ -148,14 +169,15 @@ class CdnController:
             raise KeyError(f"unknown site {site!r}")
         if self.deployed_site is None:
             raise RuntimeError("undrain_site before deploy")
-        self.technique.announce_normal(
-            self.network,
-            self.deployment,
-            self.deployed_site,
-            self.prefix,
-            self.superprefix,
-        )
-        self._enforce_down_sites()
+        with self.network.caused_by(self.network.root_cause("site-undrain", site)):
+            self.technique.announce_normal(
+                self.network,
+                self.deployment,
+                self.deployed_site,
+                self.prefix,
+                self.superprefix,
+            )
+            self._enforce_down_sites()
 
     def fail_site(self, site: str) -> FailureEvent:
         """Emulate a site failure right now.
@@ -168,13 +190,17 @@ class CdnController:
             raise KeyError(f"unknown site {site!r}")
         node = self.deployment.site_node(site)
         self.down_sites.add(site)
+        cause = self.network.root_cause("site-fail", site)
         # Telemetry first: the failure causally precedes the withdrawals
         # it triggers, and the trace preserves emission order.
         telemetry = telemetry_registry.current()
         if telemetry.enabled:
             telemetry.inc("controller.site_failures")
-            telemetry.emit(SiteFailed(t=self.network.now, site=site, silent=False))
-        withdrawn = tuple(self.network.withdraw_all(node))
+            telemetry.emit(
+                SiteFailed(t=self.network.now, site=site, silent=False, cause=cause)
+            )
+        with self.network.caused_by(cause):
+            withdrawn = tuple(self.network.withdraw_all(node))
         event = FailureEvent(
             site=site,
             failed_at=self.network.now,
@@ -182,7 +208,7 @@ class CdnController:
             withdrawn_prefixes=withdrawn,
         )
         self.failures.append(event)
-        self.network.engine.schedule(self.detection_delay, lambda: self._react(site))
+        self.network.engine.schedule(self.detection_delay, lambda: self._react(site, cause))
         return event
 
     def fail_site_silently(self, site: str) -> FailureEvent:
@@ -199,10 +225,13 @@ class CdnController:
             raise KeyError(f"unknown site {site!r}")
         node = self.deployment.site_node(site)
         self.down_sites.add(site)
+        cause = self.network.root_cause("site-fail-silent", site)
         telemetry = telemetry_registry.current()
         if telemetry.enabled:
             telemetry.inc("controller.site_failures")
-            telemetry.emit(SiteFailed(t=self.network.now, site=site, silent=True))
+            telemetry.emit(
+                SiteFailed(t=self.network.now, site=site, silent=True, cause=cause)
+            )
         pending = tuple(self.network.routers[node].originated_prefixes())
         event = FailureEvent(
             site=site,
@@ -214,19 +243,27 @@ class CdnController:
         self.failures.append(event)
 
         def detect() -> None:
-            self.network.withdraw_all(node)
-            self._react(site)
+            with self.network.caused_by(cause):
+                self.network.withdraw_all(node)
+            self._react(site, cause)
 
         self.network.engine.schedule(self.detection_delay, detect)
         return event
 
-    def _react(self, site: str) -> None:
-        self.technique.on_failure(
-            self.network, self.deployment, site, self.prefix, self.superprefix
-        )
-        self._enforce_down_sites()
-        if self.dns is not None:
-            self._update_dns(site)
+    def _react(self, site: str, cause: int = 0) -> None:
+        """The technique's (and DNS's) delayed reaction to a failure.
+
+        Runs from an engine callback, after the originating call stack
+        has unwound -- ``cause`` re-enters the failure's provenance scope
+        so the reactive announcements join the same chain.
+        """
+        with self.network.caused_by(cause):
+            self.technique.on_failure(
+                self.network, self.deployment, site, self.prefix, self.superprefix
+            )
+            self._enforce_down_sites()
+            if self.dns is not None:
+                self._update_dns(site, cause)
 
     def _enforce_down_sites(self) -> None:
         """Withdraw anything a technique (re)announced from a dead site.
@@ -238,12 +275,23 @@ class CdnController:
         for down in self.down_sites:
             self.network.withdraw_all(self.deployment.site_node(down))
 
-    def _update_dns(self, failed_site: str) -> None:
+    def _update_dns(self, failed_site: str, cause: int = 0) -> None:
         """Repoint DNS away from the failed site (unicast's only lever)."""
         address = self.dns.site_addresses.get(failed_site)
         if address is not None:
             self._removed_dns[failed_site] = address
         self.dns.remove_site(failed_site)
+        telemetry = telemetry_registry.current()
+        if telemetry.enabled:
+            telemetry.emit(
+                DnsRecordChanged(
+                    t=self.network.now,
+                    site=failed_site,
+                    action="remove",
+                    address=str(address) if address is not None else "",
+                    cause=cause,
+                )
+            )
         survivors = [s for s in self.deployment.site_names if s != failed_site]
         if not survivors:
             return

@@ -17,6 +17,7 @@ from repro.core.controller import CdnController
 from repro.core.techniques import Technique
 from repro.faults import FaultInjector, FaultPlan, check_invariants
 from repro.net.addr import IPv4Prefix
+from repro.telemetry import registry as telemetry_registry
 from repro.topology.generator import Topology
 from repro.topology.testbed import SECOND_PREFIX, SUPERPREFIX, CdnDeployment
 
@@ -75,6 +76,14 @@ class RotationDrill:
 
     def run_site(self, site: str, clients: list[str]) -> DrillOutcome:
         """Drill one site: deploy, fail, wait the deadline, audit."""
+        # Tagging the phase gives the availability ledger and the
+        # profiler their per-site run context.
+        with telemetry_registry.current().phase(
+            "drill", technique=self.technique.name, site=site
+        ):
+            return self._run_site(site, clients)
+
+    def _run_site(self, site: str, clients: list[str]) -> DrillOutcome:
         network = self.topology.build_network(seed=self.seed, timing=self.timing)
         controller = CdnController(
             network=network,

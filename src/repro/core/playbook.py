@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.bgp.session import SessionTiming
 from repro.measurement.catchment import catchment_from_network
 from repro.net.addr import IPv4Prefix
+from repro.telemetry import registry as telemetry_registry
 from repro.topology.generator import Topology
 from repro.topology.testbed import SPECIFIC_PREFIX, CdnDeployment
 
@@ -63,14 +64,16 @@ class Playbook:
     def evaluate(self, prepends: dict[str, int]) -> PlaybookEntry:
         """Announce with the given per-site prepending and record the
         catchment. Sites absent from ``prepends`` announce plain."""
-        network = self.topology.build_network(seed=self.seed, timing=self.timing)
-        for site in self.deployment.site_names:
-            network.announce(
-                self.deployment.site_node(site),
-                self.prefix,
-                prepend=prepends.get(site, 0),
-            )
-        network.converge()
+        # Offline what-if evaluation: stay out of any active trace.
+        with telemetry_registry.using(telemetry_registry.NULL):
+            network = self.topology.build_network(seed=self.seed, timing=self.timing)
+            for site in self.deployment.site_names:
+                network.announce(
+                    self.deployment.site_node(site),
+                    self.prefix,
+                    prepend=prepends.get(site, 0),
+                )
+            network.converge()
         clients = [info.node_id for info in self.topology.web_client_ases()]
         catchment = catchment_from_network(network, self.deployment, self.prefix, clients)
         counts = Counter(site for site in catchment.values() if site is not None)

@@ -28,6 +28,7 @@ from repro.dataplane.forwarding import ForwardingPlane
 from repro.dataplane.ping import Prober
 from repro.faults import FaultInjector, FaultPlan
 from repro.net.addr import IPv4Address
+from repro.telemetry import registry as telemetry_registry
 from repro.topology.generator import Topology
 from repro.topology.testbed import (
     PROBE_SOURCE,
@@ -176,10 +177,21 @@ class ScenarioRunner:
                 targets[info.prefix.address(1)] = info.node_id
 
         start = network.now
-        for event in sorted(self.events, key=lambda e: e.at):
+        ordered = sorted(self.events, key=lambda e: e.at)
+        for event in ordered:
             self._schedule(network, controller, prober, event)
-        prober.start(targets, interval=self.probe_interval, duration=self.duration_s)
-        network.run_for(self.duration_s + 30.0)
+        # The phase tags give the availability ledger its run context
+        # (technique, site); the scenario's focus site is the first
+        # scripted event's target, or the deploy site for a quiet run.
+        focus_site = ordered[0].site if ordered else self.specific_site
+        telemetry = telemetry_registry.current()
+        with telemetry.phase(
+            "scenario", technique=self.technique.name, site=focus_site
+        ):
+            prober.start(
+                targets, interval=self.probe_interval, duration=self.duration_s
+            )
+            network.run_for(self.duration_s + 30.0)
 
         report = self._report(prober, capture, start)
         if injector is not None:

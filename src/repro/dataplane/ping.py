@@ -18,10 +18,10 @@ from dataclasses import dataclass, field
 
 from repro.dataplane.capture import SiteCapture
 from repro.dataplane.forwarding import ForwardingPlane, ForwardResult
-from repro.net.addr import IPv4Address
+from repro.net.addr import IPv4Address, cached_str
 from repro.net.packet import IcmpEcho, IcmpEchoReply
 from repro.telemetry import registry as telemetry_registry
-from repro.telemetry.trace import ProbeReply, ProbeSent
+from repro.telemetry.trace import ProbeLost, ProbeReply, ProbeSent
 from repro.topology.testbed import CdnDeployment
 
 
@@ -88,11 +88,21 @@ class Prober:
         telemetry = self._telemetry
         if telemetry.enabled:
             telemetry.inc("probe.sent")
-            telemetry.emit(ProbeSent(t=engine.now, target=str(target), seq=seq))
+            telemetry.emit(ProbeSent(t=engine.now, target=cached_str(target), seq=seq))
         vantage_node = self.deployment.site_node(self.vantage_site)
         latency = self.plane.latency_to_client(vantage_node, target_node)
         if latency is None:
-            return  # target unreachable from the vantage: no reply ever
+            # Target unreachable from the vantage: no reply ever.
+            if telemetry.enabled:
+                telemetry.emit(
+                    ProbeLost(
+                        t=engine.now,
+                        target=cached_str(target),
+                        seq=seq,
+                        reason="unreachable",
+                    )
+                )
+            return
         request = IcmpEcho(src=self.source, dst=target, seq=seq)
         engine.schedule(latency, lambda: self._reply(request, target_node))
 
@@ -108,6 +118,19 @@ class Prober:
             self.lost_replies.append(result)
             if telemetry.enabled:
                 telemetry.inc("probe.replies_lost")
+                reason = (
+                    result.drop_reason.value
+                    if result.drop_reason is not None
+                    else "unreachable"
+                )
+                telemetry.emit(
+                    ProbeLost(
+                        t=result.completed_at,
+                        target=cached_str(reply.src),
+                        seq=reply.seq,
+                        reason=reason,
+                    )
+                )
             return
         site = self.deployment.site_of_node(result.delivered_to)
         if site is None or site in self.dead_sites:
@@ -116,12 +139,24 @@ class Prober:
             self.lost_replies.append(result)
             if telemetry.enabled:
                 telemetry.inc("probe.replies_lost")
+                telemetry.emit(
+                    ProbeLost(
+                        t=result.completed_at,
+                        target=cached_str(reply.src),
+                        seq=reply.seq,
+                        reason="off-net" if site is None else "dead-site",
+                        site=site or "",
+                    )
+                )
             return
         if telemetry.enabled:
             telemetry.inc("probe.replies")
             telemetry.emit(
                 ProbeReply(
-                    t=result.completed_at, target=str(reply.src), seq=reply.seq, site=site
+                    t=result.completed_at,
+                    target=cached_str(reply.src),
+                    seq=reply.seq,
+                    site=site,
                 )
             )
         self.capture.record(result.completed_at, site, reply.src, reply.seq)

@@ -77,13 +77,17 @@ class FaultInjector:
 
     # ------------------------------------------------------------------
 
-    def _fired(self, fault: str, target: str, detail: str = "") -> None:
+    def _fired(self, fault: str, target: str, detail: str = "", cause: int = 0) -> None:
         self.injected += 1
         if self._telemetry.enabled:
             self._telemetry.inc("faults.injected")
             self._telemetry.emit(
                 FaultInjected(
-                    t=self.network.now, fault=fault, target=target, detail=detail
+                    t=self.network.now,
+                    fault=fault,
+                    target=target,
+                    detail=detail,
+                    cause=cause,
                 )
             )
 
@@ -112,16 +116,23 @@ class FaultInjector:
         if not self.network.has_link(fault.a, fault.b):
             self._skip("link-down", target, "link not up")
             return
-        self.network.fail_link(fault.a, fault.b)
-        self._fired("link-down", target)
+        # The fault is the root action: allocate its cause before the
+        # mutation so the network's own provenance hooks inherit it and
+        # all resulting churn lands in one chain.
+        cause = self.network.new_cause("fault:link-down", target)
+        with self.network.caused_by(cause):
+            self.network.fail_link(fault.a, fault.b)
+        self._fired("link-down", target, cause=cause)
 
     def _link_up(self, fault: LinkFlap) -> None:
         target = _link_id(fault.a, fault.b)
         if not self.network.is_link_failed(fault.a, fault.b):
             self._skip("link-up", target, "link not in failed state")
             return
-        self.network.restore_link(fault.a, fault.b)
-        self._fired("link-up", target)
+        cause = self.network.new_cause("fault:link-up", target)
+        with self.network.caused_by(cause):
+            self.network.restore_link(fault.a, fault.b)
+        self._fired("link-up", target, cause=cause)
 
     def _arm_session_reset(self, fault: SessionReset) -> None:
         self.network.engine.schedule(fault.at, lambda: self._session_reset(fault))
@@ -131,8 +142,10 @@ class FaultInjector:
         if not self.network.has_link(fault.a, fault.b):
             self._skip("session-reset", target, "link not up")
             return
-        self.network.reset_session(fault.a, fault.b)
-        self._fired("session-reset", target)
+        cause = self.network.new_cause("fault:session-reset", target)
+        with self.network.caused_by(cause):
+            self.network.reset_session(fault.a, fault.b)
+        self._fired("session-reset", target, cause=cause)
 
     def _arm_message_loss(self, fault: MessageLoss) -> None:
         engine = self.network.engine
@@ -140,18 +153,25 @@ class FaultInjector:
         engine.schedule(fault.at + fault.duration, lambda: self._loss_end(fault))
 
     def _loss_start(self, fault: MessageLoss) -> None:
+        target = _link_id(fault.a, fault.b)
         self.network.set_message_loss(
             fault.a, fault.b, loss_prob=fault.loss_prob, dup_prob=fault.dup_prob
         )
         self._fired(
             "message-loss-start",
-            _link_id(fault.a, fault.b),
+            target,
             f"loss={fault.loss_prob} dup={fault.dup_prob}",
+            cause=self.network.new_cause("fault:message-loss", target),
         )
 
     def _loss_end(self, fault: MessageLoss) -> None:
+        target = _link_id(fault.a, fault.b)
         self.network.set_message_loss(fault.a, fault.b)
-        self._fired("message-loss-end", _link_id(fault.a, fault.b))
+        self._fired(
+            "message-loss-end",
+            target,
+            cause=self.network.new_cause("fault:message-loss-end", target),
+        )
 
     def _arm_fib_delay(self, fault: FibDelay) -> None:
         engine = self.network.engine
@@ -164,14 +184,23 @@ class FaultInjector:
             self._skip("fib-delay-start", fault.node, "unknown node")
             return
         self._push_fib_delay(router, fault.extra_delay)
-        self._fired("fib-delay-start", fault.node, f"extra={fault.extra_delay}")
+        self._fired(
+            "fib-delay-start",
+            fault.node,
+            f"extra={fault.extra_delay}",
+            cause=self.network.new_cause("fault:fib-delay", fault.node),
+        )
 
     def _fib_delay_end(self, fault: FibDelay) -> None:
         router = self.network.routers.get(fault.node)
         if router is None or not self._pop_fib_delay(router):
             self._skip("fib-delay-end", fault.node, "no delay window active")
             return
-        self._fired("fib-delay-end", fault.node)
+        self._fired(
+            "fib-delay-end",
+            fault.node,
+            cause=self.network.new_cause("fault:fib-delay-end", fault.node),
+        )
 
     def _push_fib_delay(self, router: BgpRouter, extra: float) -> None:
         """Wrap the router's FIB-delay sampler to add ``extra`` seconds.
@@ -219,11 +248,16 @@ class FaultInjector:
         if len(neighbors) == 1:
             count = 1  # a single-homed node's "partial" failure is total
         picked = self.rng.sample(neighbors, count)
-        for neighbor in sorted(picked):
-            self.network.fail_link(fault.node, neighbor)
-            chosen.append((fault.node, neighbor))
+        cause = self.network.new_cause("fault:partial-site-down", fault.node)
+        with self.network.caused_by(cause):
+            for neighbor in sorted(picked):
+                self.network.fail_link(fault.node, neighbor)
+                chosen.append((fault.node, neighbor))
         self._fired(
-            "partial-site-down", fault.node, f"links={','.join(n for _, n in chosen)}"
+            "partial-site-down",
+            fault.node,
+            f"links={','.join(n for _, n in chosen)}",
+            cause=cause,
         )
 
     def _partial_up(
@@ -233,9 +267,13 @@ class FaultInjector:
             self._skip("partial-site-up", fault.node, "nothing was failed")
             return
         restored = []
-        for node, neighbor in chosen:
-            if self.network.is_link_failed(node, neighbor):
-                self.network.restore_link(node, neighbor)
-                restored.append(neighbor)
+        cause = self.network.new_cause("fault:partial-site-up", fault.node)
+        with self.network.caused_by(cause):
+            for node, neighbor in chosen:
+                if self.network.is_link_failed(node, neighbor):
+                    self.network.restore_link(node, neighbor)
+                    restored.append(neighbor)
         chosen.clear()
-        self._fired("partial-site-up", fault.node, f"links={','.join(restored)}")
+        self._fired(
+            "partial-site-up", fault.node, f"links={','.join(restored)}", cause=cause
+        )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.bgp.network import BgpNetwork
 from repro.bgp.session import SessionTiming
 from repro.net.addr import IPv4Prefix
+from repro.telemetry import registry as telemetry_registry
 from repro.topology.generator import Topology
 from repro.topology.testbed import CdnDeployment, SPECIFIC_PREFIX
 
@@ -52,10 +53,13 @@ def anycast_catchment(
     client AS's selected origin. ``nodes`` defaults to all web-client
     ASes (the §5.1 population).
     """
-    network = topology.build_network(seed=seed, timing=timing)
-    for site in deployment.site_names:
-        network.announce(deployment.site_node(site), prefix)
-    network.converge()
+    # A scratch what-if simulation: keep it out of the caller's trace so
+    # ``repro explain`` sees only the real run's causes.
+    with telemetry_registry.using(telemetry_registry.NULL):
+        network = topology.build_network(seed=seed, timing=timing)
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), prefix)
+        network.converge()
     if nodes is None:
         nodes = [info.node_id for info in topology.web_client_ases()]
     return catchment_from_network(network, deployment, prefix, nodes)

@@ -13,6 +13,23 @@ from dataclasses import dataclass
 
 _MAX_IPV4 = (1 << 32) - 1
 
+_STR_CACHE: dict[object, str] = {}
+
+
+def cached_str(value: object) -> str:
+    """``str(value)`` memoized by value, for hot telemetry paths.
+
+    Trace events carry prefixes and addresses as text; a run stringifies
+    the same few dozen values tens of thousands of times. The universe
+    of distinct addresses in a simulation is tiny, so an unbounded cache
+    is safe. Only address/prefix types (frozen, value-hashed) belong in
+    here.
+    """
+    text = _STR_CACHE.get(value)
+    if text is None:
+        text = _STR_CACHE[value] = str(value)
+    return text
+
 
 def _parse_dotted_quad(text: str) -> int:
     """Parse ``a.b.c.d`` into a 32-bit integer, validating each octet."""

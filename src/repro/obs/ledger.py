@@ -1,0 +1,287 @@
+"""Availability accounting: per-target outage intervals from a trace.
+
+The paper's headline metric is user-visible downtime per redirection
+technique (Fig. 2): how many user-seconds were lost, and to what --
+packets blackholed while withdrawals converge, caught in transient
+forwarding loops, or delivered to the wrong (dead) site. The telemetry
+layer records every probe's fate (:class:`ProbeSent` / :class:`ProbeReply`
+/ :class:`ProbeLost`); :class:`AvailabilityLedger` folds that stream into
+classified outage intervals and aggregates user-seconds-lost per
+technique and site. ``repro report`` renders the result.
+
+Determinism: the ledger is a pure fold over the event list. A parallel
+(``--workers N``) run merges each cell's identical event subsequence in
+cell order, bracketed by ``CellStart``/``CellEnd`` markers the ledger
+ignores -- so ledger output is byte-identical between serial and
+parallel runs of the same experiment.
+
+Outage model (one simulated "user" per probed target):
+
+* a probe is *failed* when it was reported lost, or when no reply was
+  ever captured for its sequence number (reply still in flight at run
+  end, or silently absorbed);
+* consecutive failed probes to one target form one outage interval,
+  from the first failed probe's send time to the send time of the next
+  answered probe (the bound on when service returned); a trailing
+  outage is closed one probe gap after the last failed send;
+* the interval's class is the majority failure reason, folded into
+  ``blackhole`` (no route / unreachable / unanswered), ``loop``
+  (forwarding loop or TTL burn), or ``wrong-site`` (delivered off-net
+  or to a dead site); ties break in that order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.telemetry.trace import (
+    PhaseStart,
+    ProbeLost,
+    ProbeReply,
+    ProbeSent,
+    TraceEvent,
+)
+
+#: schema tag carried by the JSON rendering (``repro report --json``)
+LEDGER_SCHEMA = "repro.availability-ledger/1"
+
+#: outage classes, in tie-break priority order
+OUTAGE_CLASSES = ("blackhole", "loop", "wrong-site")
+
+#: probe-loss reason -> outage class
+CLASS_BY_REASON = {
+    "no-route": "blackhole",
+    "unreachable": "blackhole",
+    "unanswered": "blackhole",
+    "loop": "loop",
+    "ttl-exceeded": "loop",
+    "off-net": "wrong-site",
+    "dead-site": "wrong-site",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Outage:
+    """One contiguous window during which a target got no service."""
+
+    technique: str
+    site: str
+    target: str
+    start: float
+    end: float
+    probes_missed: int
+    outage_class: str  # one of OUTAGE_CLASSES
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+
+@dataclass(slots=True)
+class _TargetLog:
+    """Per-⟨run, target⟩ probe bookkeeping during the fold."""
+
+    sends: list[tuple[float, int]] = field(default_factory=list)
+    #: seq -> "ok" or a loss reason
+    outcomes: dict[int, str] = field(default_factory=dict)
+
+
+class AvailabilityLedger:
+    """Classified outage intervals plus their aggregation."""
+
+    def __init__(self, outages: list[Outage] | None = None) -> None:
+        self.outages: list[Outage] = outages or []
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def from_events(cls, events: list[TraceEvent]) -> "AvailabilityLedger":
+        """Fold a trace into a ledger.
+
+        Run context (technique, site) comes from ``PhaseStart`` tags:
+        experiment, drill, and scenario runs all tag their phases, and
+        probe sequence numbers restart per run, so probes are matched
+        within their run only.
+        """
+        technique, site = "", ""
+        logs: dict[tuple[str, str, str], _TargetLog] = {}
+        for event in events:
+            if isinstance(event, PhaseStart):
+                tags = event.tags
+                if "technique" in tags and "site" in tags:
+                    technique, site = str(tags["technique"]), str(tags["site"])
+            elif isinstance(event, ProbeSent):
+                log = logs.setdefault((technique, site, event.target), _TargetLog())
+                log.sends.append((event.t, event.seq))
+            elif isinstance(event, ProbeReply):
+                log = logs.get((technique, site, event.target))
+                if log is not None:
+                    log.outcomes[event.seq] = "ok"
+            elif isinstance(event, ProbeLost):
+                log = logs.get((technique, site, event.target))
+                if log is not None:
+                    log.outcomes[event.seq] = event.reason
+        outages: list[Outage] = []
+        for (run_technique, run_site, target), log in logs.items():
+            outages.extend(
+                _intervals(run_technique, run_site, target, log)
+            )
+        return cls(outages)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+
+    def user_seconds_lost(self) -> float:
+        return sum(outage.duration for outage in self.outages)
+
+    def by_technique(self) -> dict[str, dict]:
+        """Per-technique aggregation (the Fig. 2 comparison view)."""
+        out: dict[str, dict] = {}
+        for outage in self.outages:
+            tech = out.setdefault(
+                outage.technique,
+                {
+                    "user_seconds_lost": 0.0,
+                    "by_class": {cls: 0.0 for cls in OUTAGE_CLASSES},
+                    "outages": 0,
+                    "targets_affected": set(),
+                    "sites": {},
+                },
+            )
+            site = tech["sites"].setdefault(
+                outage.site,
+                {
+                    "user_seconds_lost": 0.0,
+                    "by_class": {cls: 0.0 for cls in OUTAGE_CLASSES},
+                    "outages": 0,
+                    "targets_affected": set(),
+                },
+            )
+            for bucket in (tech, site):
+                bucket["user_seconds_lost"] += outage.duration
+                bucket["by_class"][outage.outage_class] += outage.duration
+                bucket["outages"] += 1
+                bucket["targets_affected"].add(outage.target)
+        return out
+
+    def to_dict(self) -> dict:
+        """Plain-data rendering with a schema tag and stable rounding."""
+        techniques = {}
+        for name, tech in self.by_technique().items():
+            techniques[name] = {
+                "user_seconds_lost": round(tech["user_seconds_lost"], 6),
+                "by_class": {
+                    cls: round(v, 6) for cls, v in tech["by_class"].items()
+                },
+                "outages": tech["outages"],
+                "targets_affected": len(tech["targets_affected"]),
+                "sites": {
+                    site: {
+                        "user_seconds_lost": round(data["user_seconds_lost"], 6),
+                        "by_class": {
+                            cls: round(v, 6) for cls, v in data["by_class"].items()
+                        },
+                        "outages": data["outages"],
+                        "targets_affected": len(data["targets_affected"]),
+                    }
+                    for site, data in tech["sites"].items()
+                },
+            }
+        return {
+            "schema": LEDGER_SCHEMA,
+            "techniques": techniques,
+            "total_user_seconds_lost": round(self.user_seconds_lost(), 6),
+            "total_outages": len(self.outages),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators, newline-
+        terminated -- byte-identical for identical outage sets."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _intervals(technique: str, site: str, target: str, log: _TargetLog) -> list[Outage]:
+    """Classified outage intervals for one target's probe log."""
+    sends = log.sends
+    if not sends:
+        return []
+    gaps = sorted(b[0] - a[0] for a, b in zip(sends, sends[1:]))
+    median_gap = gaps[len(gaps) // 2] if gaps else 0.0
+    outages: list[Outage] = []
+    run_start: float | None = None
+    run_reasons: list[str] = []
+
+    def close(end: float) -> None:
+        nonlocal run_start, run_reasons
+        if run_start is None:
+            return
+        tally: dict[str, int] = {}
+        for reason in run_reasons:
+            cls = CLASS_BY_REASON.get(reason, "blackhole")
+            tally[cls] = tally.get(cls, 0) + 1
+        winner = min(tally, key=lambda cls: (-tally[cls], OUTAGE_CLASSES.index(cls)))
+        outages.append(
+            Outage(
+                technique=technique,
+                site=site,
+                target=target,
+                start=run_start,
+                end=end,
+                probes_missed=len(run_reasons),
+                outage_class=winner,
+            )
+        )
+        run_start, run_reasons = None, []
+
+    for t, seq in sends:
+        outcome = log.outcomes.get(seq, "unanswered")
+        if outcome == "ok":
+            close(end=t)
+        else:
+            if run_start is None:
+                run_start = t
+            run_reasons.append(outcome)
+    if run_start is not None:
+        close(end=sends[-1][0] + median_gap)
+    return outages
+
+
+# ----------------------------------------------------------------------
+# Rendering
+
+
+def render_report(ledger: AvailabilityLedger) -> str:
+    """Format a ledger as the ``repro report`` text output."""
+    techniques = ledger.by_technique()
+    lines = [
+        f"availability ledger: {len(ledger.outages)} outage(s), "
+        f"{ledger.user_seconds_lost():.1f} user-seconds lost"
+    ]
+    if not techniques:
+        lines.append("(no probe activity in the trace)")
+        return "\n".join(lines)
+    lines.append("")
+    lines.append(
+        f"{'technique / site':26s} {'user-s lost':>12s} {'blackhole':>10s} "
+        f"{'loop':>8s} {'wrong-site':>11s} {'outages':>8s} {'targets':>8s}"
+    )
+    for name in sorted(techniques):
+        tech = techniques[name]
+        by_class = tech["by_class"]
+        lines.append(
+            f"{name:26s} {tech['user_seconds_lost']:12.1f} {by_class['blackhole']:10.1f} "
+            f"{by_class['loop']:8.1f} {by_class['wrong-site']:11.1f} "
+            f"{tech['outages']:8d} {len(tech['targets_affected']):8d}"
+        )
+        for site in sorted(tech["sites"]):
+            data = tech["sites"][site]
+            site_class = data["by_class"]
+            lines.append(
+                f"  {site:24s} {data['user_seconds_lost']:12.1f} "
+                f"{site_class['blackhole']:10.1f} {site_class['loop']:8.1f} "
+                f"{site_class['wrong-site']:11.1f} {data['outages']:8d} "
+                f"{len(data['targets_affected']):8d}"
+            )
+    return "\n".join(lines)

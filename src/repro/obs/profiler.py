@@ -1,0 +1,135 @@
+"""Hot-path profiler: wall-clock and count attribution per event kind.
+
+The :class:`~repro.bgp.engine.EventEngine` processes tens of thousands
+of callbacks per Fig. 2-style run; the ROADMAP's "raw speed" work
+(checkpoint/fork, event batching) needs to know *which* callbacks the
+wall time actually goes to. :class:`EventProfiler` aggregates per
+callback qualname -- ``Session._mrai_expired``, ``Session._make_delivery
+.<locals>.deliver``, ``Prober.probe_once.<locals>.tick`` and friends are
+each a distinct simulated event kind -- plus the phase-level wall-vs-sim
+breakdown the telemetry phases already measure.
+
+The profiler itself never reads a clock: the engine and the telemetry
+``phase()`` context hand it durations they already measured, so enabling
+it adds only dict bumps to the hot path. State merges associatively
+(counts and durations sum), which is how ``--workers N`` profile output
+stays identical to the serial run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: schema tag written into profile JSON files (``--profile PATH``)
+PROFILE_SCHEMA = "repro.profile/1"
+
+
+def callback_name(callback: Callable) -> str:
+    """A stable attribution key for an engine callback."""
+    name = getattr(callback, "__qualname__", None)
+    if name is None:  # partials, callables without a qualname
+        name = type(callback).__name__
+    return name
+
+
+class EventProfiler:
+    """Accumulates per-callback and per-phase timing attribution."""
+
+    __slots__ = ("callbacks", "phases")
+
+    def __init__(self) -> None:
+        #: callback qualname -> [count, total wall seconds]
+        self.callbacks: dict[str, list] = {}
+        #: phase name -> [runs, total wall seconds, total sim seconds]
+        self.phases: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (called from the engine / telemetry hot paths)
+
+    def record_callback(self, name: str, wall_s: float) -> None:
+        entry = self.callbacks.get(name)
+        if entry is None:
+            entry = self.callbacks[name] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += wall_s
+
+    def record_phase(self, name: str, wall_s: float, sim_s: float) -> None:
+        entry = self.phases.get(name)
+        if entry is None:
+            entry = self.phases[name] = [0, 0.0, 0.0]
+        entry[0] += 1
+        entry[1] += wall_s
+        entry[2] += sim_s
+
+    # ------------------------------------------------------------------
+    # Mergeable state (ships across the worker-pool process boundary)
+
+    def state(self) -> dict:
+        """Plain-data view, JSON-serializable and mergeable."""
+        return {
+            "schema": PROFILE_SCHEMA,
+            "callbacks": {
+                name: {"count": entry[0], "wall_s": entry[1]}
+                for name, entry in sorted(self.callbacks.items())
+            },
+            "phases": {
+                name: {"runs": entry[0], "wall_s": entry[1], "sim_s": entry[2]}
+                for name, entry in sorted(self.phases.items())
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another profiler's :meth:`state` into this one."""
+        for name, data in state.get("callbacks", {}).items():
+            entry = self.callbacks.get(name)
+            if entry is None:
+                entry = self.callbacks[name] = [0, 0.0]
+            entry[0] += data["count"]
+            entry[1] += data["wall_s"]
+        for name, data in state.get("phases", {}).items():
+            entry = self.phases.get(name)
+            if entry is None:
+                entry = self.phases[name] = [0, 0.0, 0.0]
+            entry[0] += data["runs"]
+            entry[1] += data["wall_s"]
+            entry[2] += data["sim_s"]
+
+
+def render_profile(state: dict, top: int = 15) -> str:
+    """Format a profile ``state`` dict as the ``repro profile`` report."""
+    lines: list[str] = []
+    callbacks = state.get("callbacks", {})
+    total_wall = sum(d["wall_s"] for d in callbacks.values())
+    total_count = sum(d["count"] for d in callbacks.values())
+    lines.append(
+        f"{total_count} engine callbacks, {total_wall:.3f}s wall inside callbacks"
+    )
+    if callbacks:
+        lines.append("")
+        lines.append("top event kinds by wall time:")
+        lines.append(
+            f"  {'callback':44s} {'count':>8s} {'wall':>9s} {'share':>6s} {'mean':>9s}"
+        )
+        ranked = sorted(callbacks.items(), key=lambda kv: (-kv[1]["wall_s"], kv[0]))
+        for name, data in ranked[:top]:
+            share = data["wall_s"] / total_wall if total_wall else 0.0
+            mean_us = data["wall_s"] / data["count"] * 1e6 if data["count"] else 0.0
+            lines.append(
+                f"  {name:44s} {data['count']:8d} {data['wall_s']:8.3f}s "
+                f"{share:5.1%} {mean_us:7.1f}us"
+            )
+        if len(ranked) > top:
+            rest = sum(d["wall_s"] for _, d in ranked[top:])
+            lines.append(f"  ... {len(ranked) - top} more ({rest:.3f}s)")
+    phases = state.get("phases", {})
+    if phases:
+        lines.append("")
+        lines.append("phases (sim = simulated seconds covered, wall = host seconds):")
+        lines.append(f"  {'phase':22s} {'runs':>5s} {'wall':>9s} {'sim':>11s} {'sim/wall':>9s}")
+        for name, data in phases.items():
+            speedup = data["sim_s"] / data["wall_s"] if data["wall_s"] else 0.0
+            lines.append(
+                f"  {name:22s} {data['runs']:5d} {data['wall_s']:8.3f}s "
+                f"{data['sim_s']:10.1f}s {speedup:8.1f}x"
+            )
+    return "\n".join(lines)

@@ -62,6 +62,9 @@ class CellTelemetry:
     snapshot: dict
     #: the cell's trace events, in recording order
     events: list[TraceEvent]
+    #: :meth:`EventProfiler.state` of the cell's profiler (None when
+    #: profiling is off)
+    profile: dict | None = None
 
 
 @dataclass(slots=True)
@@ -102,12 +105,20 @@ def _run_one(
     payload: Any,
     collect: bool,
     want_trace: bool,
+    want_profile: bool = False,
 ) -> tuple[str, Any, str | None, float, CellTelemetry | None]:
     """Run one cell under a private telemetry backend (worker side)."""
+    profiler = None
     if collect:
         tracer = TraceRecorder() if want_trace else None
+        if want_profile:
+            # Local import: keeps repro.parallel importable without
+            # repro.obs for callers that never profile.
+            from repro.obs.profiler import EventProfiler
+
+            profiler = EventProfiler()
         backend: telemetry_registry.Telemetry | telemetry_registry.NullTelemetry
-        backend = telemetry_registry.Telemetry(tracer=tracer)
+        backend = telemetry_registry.Telemetry(tracer=tracer, profiler=profiler)
     else:
         tracer = None
         backend = telemetry_registry.NULL
@@ -129,6 +140,7 @@ def _run_one(
             cell=cell_id,
             snapshot=backend.mergeable_snapshot(),
             events=tracer.events if tracer is not None else [],
+            profile=profiler.state() if profiler is not None else None,
         )
     return status, value, error, wall_s, cell_telemetry
 
@@ -141,6 +153,7 @@ def _worker_main(
     cells: Sequence[tuple[str, Any]],
     collect: bool,
     want_trace: bool,
+    want_profile: bool,
 ) -> None:
     """Worker loop: receive cell indices until the ``None`` sentinel."""
     try:
@@ -149,7 +162,9 @@ def _worker_main(
             if index is None:
                 return
             cell_id, payload = cells[index]
-            conn.send((index, *_run_one(worker_fn, context, cell_id, payload, collect, want_trace)))
+            conn.send((index, *_run_one(
+                worker_fn, context, cell_id, payload, collect, want_trace, want_profile
+            )))
     except (EOFError, BrokenPipeError, KeyboardInterrupt):  # parent went away
         return
 
@@ -213,6 +228,10 @@ def map_cells(
         collect_telemetry
         and getattr(parent_backend, "tracer", None) is not None
     )
+    want_profile = bool(
+        collect_telemetry
+        and getattr(parent_backend, "profiler", None) is not None
+    )
     pool_size = min(workers, total)
     pending: deque[int] = deque(range(total))
     next_worker_id = 0
@@ -225,7 +244,7 @@ def map_cells(
         process = ctx.Process(
             target=_worker_main,
             args=(worker_id, child_conn, worker_fn, context, list(cells),
-                  collect_telemetry, want_trace),
+                  collect_telemetry, want_trace, want_profile),
             daemon=True,
         )
         process.start()
@@ -342,6 +361,9 @@ def merge_telemetry(backend, results: list[CellResult]) -> None:
         if cell_telemetry is None:
             continue
         backend.merge_snapshot(cell_telemetry.snapshot)
+        profiler = getattr(backend, "profiler", None)
+        if profiler is not None and cell_telemetry.profile is not None:
+            profiler.merge_state(cell_telemetry.profile)
         if getattr(backend, "tracer", None) is not None:
             events = cell_telemetry.events
             backend.emit(CellStart(t=0.0, cell=cell_telemetry.cell, worker=result.worker))

@@ -36,6 +36,7 @@ from repro.telemetry.registry import (
 from repro.telemetry.summary import (
     PhaseSummary,
     TraceSummary,
+    filter_events,
     render_summary,
     summarize_trace,
 )
@@ -44,16 +45,22 @@ from repro.telemetry.trace import (
     BgpUpdateSent,
     CellEnd,
     CellStart,
+    DnsRecordChanged,
+    FaultInjected,
+    FaultSkipped,
     FibInstalled,
     FlapDamped,
     PhaseEnd,
     PhaseStart,
+    ProbeLost,
     ProbeReply,
     ProbeSent,
+    RootCause,
     RouteSelected,
     SiteFailed,
     SiteSwitched,
     TraceEvent,
+    TraceMeta,
     TraceRecorder,
     event_from_dict,
     read_jsonl,
@@ -73,22 +80,29 @@ __all__ = [
     "using",
     "PhaseSummary",
     "TraceSummary",
+    "filter_events",
     "render_summary",
     "summarize_trace",
     "EVENT_TYPES",
     "BgpUpdateSent",
     "CellEnd",
     "CellStart",
+    "DnsRecordChanged",
+    "FaultInjected",
+    "FaultSkipped",
     "FibInstalled",
     "FlapDamped",
     "PhaseEnd",
     "PhaseStart",
+    "ProbeLost",
     "ProbeReply",
     "ProbeSent",
+    "RootCause",
     "RouteSelected",
     "SiteFailed",
     "SiteSwitched",
     "TraceEvent",
+    "TraceMeta",
     "TraceRecorder",
     "event_from_dict",
     "read_jsonl",

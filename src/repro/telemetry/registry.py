@@ -34,6 +34,7 @@ class NullTelemetry:
     """
 
     enabled = False
+    profiler = None
 
     def counter(self, name: str) -> Counter:  # pragma: no cover - never hot
         return Counter(name)
@@ -94,8 +95,13 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, tracer: TraceRecorder | None = None) -> None:
+    def __init__(self, tracer: TraceRecorder | None = None, profiler=None) -> None:
         self.tracer = tracer
+        #: optional :class:`repro.obs.profiler.EventProfiler` (duck-typed
+        #: here to keep telemetry importable without repro.obs); the
+        #: engine attributes per-callback wall time to it and
+        #: :meth:`phase` reports phase wall/sim durations.
+        self.profiler = profiler
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
@@ -175,6 +181,8 @@ class Telemetry:
             wall_s = time.perf_counter() - wall_start
             sim_end = self.now()
             self.observe(f"phase.{name}.wall_s", wall_s)
+            if self.profiler is not None:
+                self.profiler.record_phase(name, wall_s, max(0.0, sim_end - sim_start))
             self.emit(
                 PhaseEnd(
                     t=sim_end,

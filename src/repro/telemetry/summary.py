@@ -13,12 +13,18 @@ from dataclasses import dataclass, field
 
 from repro.telemetry.trace import (
     BgpUpdateSent,
+    DnsRecordChanged,
+    FaultInjected,
+    FaultSkipped,
     PhaseEnd,
+    ProbeLost,
     ProbeReply,
     ProbeSent,
+    RootCause,
     SiteFailed,
     SiteSwitched,
     TraceEvent,
+    TraceMeta,
 )
 
 
@@ -59,6 +65,47 @@ class TraceSummary:
     #: serving site -> replies captured there
     replies_by_site: dict[str, int] = field(default_factory=dict)
     site_switches: int = 0
+    #: probes reported lost, and the loss-reason split
+    probes_lost: int = 0
+    losses_by_reason: dict[str, int] = field(default_factory=dict)
+    #: provenance root causes recorded in the trace
+    root_causes: int = 0
+    #: chaos: faults fired / skipped by an armed plan
+    faults_injected: int = 0
+    faults_skipped: int = 0
+    #: DNS record changes in timeline order: (t, action, site)
+    dns_changes: list[tuple[float, str, str]] = field(default_factory=list)
+    #: events the recorder's ring buffer evicted before the write
+    dropped_events: int = 0
+
+
+def filter_events(
+    events: list[TraceEvent],
+    prefix: str | None = None,
+    site: str | None = None,
+    kind: str | None = None,
+) -> list[TraceEvent]:
+    """The subset of ``events`` matching every given filter.
+
+    ``prefix`` keeps events carrying that prefix; ``site`` keeps events
+    naming the site (a catchment shift matches on either end); ``kind``
+    keeps one event kind. Events lacking a filtered attribute are
+    dropped -- filtering on a prefix keeps only prefix-carrying events.
+    """
+    out: list[TraceEvent] = []
+    for event in events:
+        if kind is not None and event.kind != kind:
+            continue
+        if prefix is not None and getattr(event, "prefix", None) != prefix:
+            continue
+        if site is not None:
+            if isinstance(event, SiteSwitched):
+                if site not in (event.from_site, event.to_site):
+                    continue
+            elif getattr(event, "site", None) != site:
+                continue
+        out.append(event)
+    return out
 
 
 def summarize_trace(events: list[TraceEvent]) -> TraceSummary:
@@ -68,7 +115,10 @@ def summarize_trace(events: list[TraceEvent]) -> TraceSummary:
     senders: TallyCounter[str] = TallyCounter()
     update_types: TallyCounter[str] = TallyCounter()
     reply_sites: TallyCounter[str] = TallyCounter()
-    times = [event.t for event in events]
+    loss_reasons: TallyCounter[str] = TallyCounter()
+    # TraceMeta is bookkeeping prepended at write time (t is not a
+    # simulated timestamp), so it stays out of the time range.
+    times = [event.t for event in events if not isinstance(event, TraceMeta)]
     if times:
         summary.t_first = min(times)
         summary.t_last = max(times)
@@ -93,10 +143,24 @@ def summarize_trace(events: list[TraceEvent]) -> TraceSummary:
             reply_sites[event.site] += 1
         elif isinstance(event, SiteSwitched):
             summary.site_switches += 1
+        elif isinstance(event, ProbeLost):
+            summary.probes_lost += 1
+            loss_reasons[event.reason] += 1
+        elif isinstance(event, RootCause):
+            summary.root_causes += 1
+        elif isinstance(event, FaultInjected):
+            summary.faults_injected += 1
+        elif isinstance(event, FaultSkipped):
+            summary.faults_skipped += 1
+        elif isinstance(event, DnsRecordChanged):
+            summary.dns_changes.append((event.t, event.action, event.site))
+        elif isinstance(event, TraceMeta):
+            summary.dropped_events += event.dropped
     summary.kinds = dict(kinds)
     summary.updates_by_sender = dict(senders)
     summary.updates_by_type = dict(update_types)
     summary.replies_by_site = dict(reply_sites)
+    summary.losses_by_reason = dict(loss_reasons)
     return summary
 
 
@@ -107,6 +171,11 @@ def render_summary(summary: TraceSummary, top: int = 10) -> str:
         f"{summary.total_events} events over simulated "
         f"[{summary.t_first:.1f}s, {summary.t_last:.1f}s]"
     )
+    if summary.dropped_events:
+        lines.append(
+            f"  (ring buffer evicted {summary.dropped_events} earlier events "
+            "before the write -- totals below undercount)"
+        )
 
     lines.append("")
     lines.append("events by kind:")
@@ -129,6 +198,22 @@ def render_summary(summary: TraceSummary, top: int = 10) -> str:
         for t, site, silent in summary.site_failures:
             lines.append(f"  t={t:8.1f}s {site}" + ("  (silent)" if silent else ""))
 
+    if summary.root_causes or summary.faults_injected or summary.faults_skipped:
+        lines.append("")
+        parts = [f"{summary.root_causes} root cause(s)"]
+        if summary.faults_injected or summary.faults_skipped:
+            parts.append(
+                f"{summary.faults_injected} fault(s) injected, "
+                f"{summary.faults_skipped} skipped"
+            )
+        lines.append("provenance: " + "; ".join(parts))
+
+    if summary.dns_changes:
+        lines.append("")
+        lines.append("DNS record changes:")
+        for t, action, site in summary.dns_changes:
+            lines.append(f"  t={t:8.1f}s {action} {site}")
+
     if summary.updates_by_type:
         lines.append("")
         split = ", ".join(
@@ -142,16 +227,21 @@ def render_summary(summary: TraceSummary, top: int = 10) -> str:
         if len(ranked) > top:
             lines.append(f"  ... {len(ranked) - top} more")
 
-    if summary.probes_sent or summary.probe_replies:
+    if summary.probes_sent or summary.probe_replies or summary.probes_lost:
         lines.append("")
         rate = (
             summary.probe_replies / summary.probes_sent if summary.probes_sent else 0.0
         )
         lines.append(
             f"probes: {summary.probes_sent} sent, {summary.probe_replies} replies "
-            f"({rate:.1%}), {summary.site_switches} site switches"
+            f"({rate:.1%}), {summary.probes_lost} lost, "
+            f"{summary.site_switches} site switches"
         )
         for site, count in sorted(summary.replies_by_site.items(), key=lambda kv: -kv[1]):
             lines.append(f"  replies at {site:12s} {count}")
+        for reason, count in sorted(
+            summary.losses_by_reason.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  lost to {reason:14s} {count}")
 
     return "\n".join(lines)

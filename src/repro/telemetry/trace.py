@@ -50,6 +50,27 @@ class TraceEvent:
 
 @_register
 @dataclass(frozen=True, slots=True)
+class RootCause(TraceEvent):
+    """A new provenance chain began: a root action was taken.
+
+    Every root event -- a scenario action, a fired fault, a controller
+    reaction, a direct announce/withdraw -- allocates a fresh ``cause``
+    id from the network's monotone counter and emits one of these. All
+    downstream events (updates on the wire, route selections, FIB
+    installs, DNS changes) carry the same ``cause``, so ``repro
+    explain`` can walk the full chain.
+    """
+
+    kind: ClassVar[str] = "root_cause"
+
+    cause: int
+    action: str  # "site-fail" | "fault:link-down" | "announce" | ...
+    target: str  # site, node, or link the action acted on
+    detail: str = ""
+
+
+@_register
+@dataclass(frozen=True, slots=True)
 class BgpUpdateSent(TraceEvent):
     """An update left a session (post-MRAI, on the wire)."""
 
@@ -60,6 +81,8 @@ class BgpUpdateSent(TraceEvent):
     prefix: str
     update: str  # "announce" | "withdraw"
     as_path_len: int = 0
+    #: provenance id of the root action this update descends from
+    cause: int = 0
 
 
 @_register
@@ -73,6 +96,8 @@ class RouteSelected(TraceEvent):
     prefix: str
     via: str | None  # neighbor the best route was learned from; None = local/withdrawn
     as_path_len: int = 0
+    #: provenance id of the root action this re-selection descends from
+    cause: int = 0
 
 
 @_register
@@ -85,6 +110,8 @@ class FibInstalled(TraceEvent):
     node: str
     prefix: str
     next_hop: str | None  # None = route removed
+    #: provenance id of the root action this install descends from
+    cause: int = 0
 
 
 @_register
@@ -125,6 +152,28 @@ class ProbeReply(TraceEvent):
 
 @_register
 @dataclass(frozen=True, slots=True)
+class ProbeLost(TraceEvent):
+    """An echo went unanswered, with the reason its reply died.
+
+    ``reason`` is one of the forwarding drop reasons (``no-route``,
+    ``loop``, ``ttl-exceeded``), ``off-net`` (delivered under someone
+    else's covering prefix), ``dead-site`` (delivered to a site that is
+    down), or ``unreachable`` (no static path from the vantage at send
+    time). The availability ledger folds these into blackhole / loop /
+    wrong-site outage classes.
+    """
+
+    kind: ClassVar[str] = "probe_lost"
+
+    target: str
+    seq: int
+    reason: str
+    #: the (dead or wrong) site the reply landed at, when it landed
+    site: str = ""
+
+
+@_register
+@dataclass(frozen=True, slots=True)
 class SiteSwitched(TraceEvent):
     """A target's replies moved from one serving site to another."""
 
@@ -144,6 +193,22 @@ class SiteFailed(TraceEvent):
 
     site: str
     silent: bool = False
+    #: provenance id of the failure (the root of its chain)
+    cause: int = 0
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class DnsRecordChanged(TraceEvent):
+    """The controller changed the authoritative DNS answer pool."""
+
+    kind: ClassVar[str] = "dns_record_changed"
+
+    site: str
+    action: str  # "remove" | "restore"
+    address: str = ""
+    #: provenance id of the root action that triggered the change
+    cause: int = 0
 
 
 @_register
@@ -156,6 +221,8 @@ class FaultInjected(TraceEvent):
     fault: str  # "link-down" | "link-up" | "session-reset" | ...
     target: str  # link ("a<->b") or node the fault acted on
     detail: str = ""
+    #: provenance id of the fault (the root of its chain)
+    cause: int = 0
 
 
 @_register
@@ -240,6 +307,20 @@ class CellEnd(TraceEvent):
     events: int = 0
 
 
+@_register
+@dataclass(frozen=True, slots=True)
+class TraceMeta(TraceEvent):
+    """Recorder bookkeeping written as the first line of a JSONL trace
+    whose ring buffer evicted events: ``recorded`` counts everything the
+    run emitted, ``dropped`` how many of those the file is missing. A
+    trace without this line is complete."""
+
+    kind: ClassVar[str] = "trace_meta"
+
+    recorded: int = 0
+    dropped: int = 0
+
+
 def event_from_dict(data: dict) -> TraceEvent:
     """Rebuild a typed event from its JSONL dictionary."""
     kind = data.get("kind")
@@ -296,7 +377,16 @@ class TraceRecorder:
     # JSONL persistence
 
     def write_jsonl(self, path: str | Path) -> int:
-        """Write one JSON object per event; returns the event count."""
+        """Write one JSON object per event; returns the line count.
+
+        When the ring buffer evicted events, a :class:`TraceMeta` line
+        is prepended carrying the recorded/dropped totals, so a bounded
+        trace is never silently incomplete. Complete traces carry no
+        meta line and round-trip to exactly :attr:`events`.
+        """
+        if self.dropped:
+            meta = TraceMeta(t=0.0, recorded=self.recorded, dropped=self.dropped)
+            return write_jsonl(path, [meta, *self._events])
         return write_jsonl(path, self._events)
 
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -269,7 +271,12 @@ class TestTelemetryFlags:
         ])
         assert code == 0
         lines = [l for l in trace.read_text().splitlines() if l.strip()]
-        assert len(lines) == 50
+        # 50 retained events plus the trace_meta line reporting the drops.
+        assert len(lines) == 51
+        meta = json.loads(lines[0])
+        assert meta["kind"] == "trace_meta"
+        assert meta["dropped"] > 0
+        assert meta["recorded"] == meta["dropped"] + 50
 
     def test_summarize_missing_file(self, capsys, tmp_path):
         assert main(["trace", "summarize", str(tmp_path / "missing.jsonl")]) == 2

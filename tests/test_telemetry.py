@@ -440,3 +440,69 @@ class TestLogs:
         logger = logs.configure(1)
         ours = [h for h in logger.handlers if getattr(h, "_repro_installed", False)]
         assert len(ours) == 1
+
+
+class TestFilterEvents:
+    def events(self):
+        return [
+            telemetry.BgpUpdateSent(
+                t=1.0, sender="a", receiver="b",
+                prefix="184.164.254.0/24", update="announce",
+            ),
+            telemetry.BgpUpdateSent(
+                t=2.0, sender="a", receiver="b",
+                prefix="10.0.0.0/8", update="announce",
+            ),
+            telemetry.SiteFailed(t=3.0, site="sea1"),
+            telemetry.ProbeLost(t=4.0, target="10.0.0.1", seq=0, reason="dead-site", site="msn"),
+            telemetry.SiteSwitched(t=5.0, target="10.0.0.1", from_site="sea1", to_site="msn"),
+        ]
+
+    def test_no_filters_keeps_everything(self):
+        events = self.events()
+        assert telemetry.filter_events(events) == events
+
+    def test_kind_filter(self):
+        kept = telemetry.filter_events(self.events(), kind="bgp_update_sent")
+        assert len(kept) == 2
+        assert all(e.kind == "bgp_update_sent" for e in kept)
+
+    def test_prefix_filter_drops_prefixless_events(self):
+        kept = telemetry.filter_events(self.events(), prefix="184.164.254.0/24")
+        assert [e.t for e in kept] == [1.0]
+
+    def test_site_filter_matches_either_shift_end(self):
+        kept = telemetry.filter_events(self.events(), site="sea1")
+        assert {e.kind for e in kept} == {"site_failed", "site_switched"}
+        kept = telemetry.filter_events(self.events(), site="msn")
+        assert {e.kind for e in kept} == {"probe_lost", "site_switched"}
+
+    def test_filters_and_together(self):
+        kept = telemetry.filter_events(
+            self.events(), kind="bgp_update_sent", prefix="10.0.0.0/8"
+        )
+        assert [e.t for e in kept] == [2.0]
+        assert telemetry.filter_events(self.events(), kind="site_failed", site="msn") == []
+
+    def test_summary_counts_new_event_kinds(self):
+        summary = telemetry.summarize_trace(self.events() + [
+            telemetry.RootCause(t=0.0, cause=1, action="site-fail", target="sea1"),
+            telemetry.FaultInjected(t=1.0, fault="link-down", target="a<->b", cause=2),
+            telemetry.FaultSkipped(t=2.0, fault="link-down", target="a<->b", reason="already down"),
+            telemetry.DnsRecordChanged(t=3.0, site="sea1", action="remove"),
+            telemetry.TraceMeta(t=0.0, recorded=100, dropped=9),
+        ])
+        assert summary.probes_lost == 1
+        assert summary.losses_by_reason == {"dead-site": 1}
+        assert summary.root_causes == 1
+        assert summary.faults_injected == 1
+        assert summary.faults_skipped == 1
+        assert summary.dns_changes == [(3.0, "remove", "sea1")]
+        assert summary.dropped_events == 9
+        # the meta line's t=0.0 stays out of the simulated time range
+        assert summary.t_first == 0.0 and summary.t_last == 5.0
+        text = telemetry.render_summary(summary)
+        assert "1 root cause(s)" in text
+        assert "ring buffer evicted 9" in text
+        assert "lost to dead-site" in text
+        assert "DNS record changes" in text
