@@ -74,7 +74,9 @@ class Finding:
         }
 
     def sort_key(self) -> tuple:
-        return (self.source, self.line or 0, self.col or 0, self.code)
+        # message is the final tie-break so reports are byte-stable even
+        # when one rule fires twice on the same node
+        return (self.source, self.line or 0, self.col or 0, self.code, self.message)
 
 
 @dataclass(slots=True)
@@ -106,7 +108,7 @@ class FindingCollector:
 def emit_findings(findings: Iterable[Finding], layer: str) -> None:
     """Feed findings into the active telemetry counters.
 
-    ``layer`` is ``"lint"`` or ``"preflight"``; counters are
+    ``layer`` is ``"lint"``, ``"preflight"``, or ``"verify"``; counters are
     ``analysis.<layer>.findings`` (total), ``analysis.<layer>.errors``,
     and ``analysis.finding.<CODE>`` per rule/check code. With the null
     backend installed this is a no-op.

@@ -74,6 +74,8 @@ class LintEngine:
         if ignore is not None:
             rules = [rule for rule in rules if rule.code not in ignore]
         self.rules = rules
+        #: files examined by the most recent :meth:`lint_paths` call
+        self.files_checked = 0
 
     # ------------------------------------------------------------------
 
@@ -128,15 +130,23 @@ class LintEngine:
         return self.lint_source(source, path=str(path))
 
     def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
-        """Lint files and directory trees (``*.py``, sorted for stable output)."""
+        """Lint files and directory trees (``*.py``, sorted for stable output).
+
+        Sets :attr:`files_checked` to the number of files examined, so
+        callers can distinguish "clean" from "nothing to check" (an
+        empty directory tree yields no findings *and* zero files).
+        """
         findings: list[Finding] = []
+        self.files_checked = 0
         for path in paths:
             path = Path(path)
             if path.is_dir():
                 for file in sorted(path.rglob("*.py")):
                     findings.extend(self.lint_file(file))
+                    self.files_checked += 1
             else:
                 findings.extend(self.lint_file(path))
+                self.files_checked += 1
         return findings
 
 

@@ -8,11 +8,22 @@ from typing import Iterable
 from repro.analysis.findings import Finding
 
 
-def render_text(findings: Iterable[Finding]) -> str:
+def render_text(
+    findings: Iterable[Finding], files_checked: int | None = None
+) -> str:
     """One ``path:line:col: CODE severity: message`` line per finding,
-    followed by a count summary."""
-    findings = list(findings)
+    followed by a count summary.
+
+    Findings are re-sorted by :meth:`Finding.sort_key` so the report is
+    byte-identical however the caller gathered them. ``files_checked``
+    adds an explicit ``N file(s) checked`` line — in particular the
+    ``0 files checked`` case, so an empty target set is visibly a no-op
+    rather than a silent pass.
+    """
+    findings = sorted(findings, key=Finding.sort_key)
     lines = [finding.format() for finding in findings]
+    if files_checked is not None:
+        lines.append(f"{files_checked} file(s) checked")
     errors = sum(1 for f in findings if f.severity.blocking)
     warnings = len(findings) - errors
     if findings:
@@ -22,9 +33,16 @@ def render_text(findings: Iterable[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Iterable[Finding]) -> str:
-    """A JSON document with the finding list and severity tallies."""
-    findings = list(findings)
+def render_json(
+    findings: Iterable[Finding], files_checked: int | None = None
+) -> str:
+    """A JSON document with the finding list and severity tallies.
+
+    The finding list is sorted by :meth:`Finding.sort_key` (not
+    insertion order), so the document is byte-stable across worker
+    counts and traversal orders.
+    """
+    findings = sorted(findings, key=Finding.sort_key)
     errors = sum(1 for f in findings if f.severity.blocking)
     payload = {
         "findings": [finding.to_dict() for finding in findings],
@@ -32,4 +50,6 @@ def render_json(findings: Iterable[Finding]) -> str:
         "errors": errors,
         "warnings": len(findings) - errors,
     }
+    if files_checked is not None:
+        payload["files_checked"] = files_checked
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -325,6 +325,144 @@ class MutableDefaultArgument(LintRule):
                 )
 
 
+#: dotted call names that draw entropy from the operating system
+_OS_ENTROPY_CALLS = frozenset({
+    "os.urandom", "os.getrandom",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbelow", "secrets.randbits", "secrets.choice",
+    "secrets.SystemRandom",
+    "uuid.uuid1", "uuid.uuid4",
+})
+
+
+@register
+class OsEntropy(LintRule):
+    """OS entropy sources (``os.urandom``, ``secrets``, ``uuid4``)."""
+
+    code = "DET008"
+    name = "os-entropy"
+    summary = "os.urandom/secrets/uuid4 draw irreproducible OS entropy"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        dotted = _dotted_name(node.func)
+        if dotted in _OS_ENTROPY_CALLS:
+            yield self.finding(
+                node, ctx,
+                f"{dotted}() draws entropy from the OS and can never be "
+                "replayed; derive values from a seeded random.Random (or a "
+                "stable digest of run inputs)",
+            )
+
+
+#: constructors that freeze an iterable's order into a sequence
+_SEQUENCE_SINKS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    return isinstance(node, (ast.Set, ast.SetComp)) or (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register
+class SetToSequence(LintRule):
+    """Hash order frozen into a sequence (``list(set(...))``) or output
+    (``",".join(set(...))``).
+
+    DET005 catches direct ``for`` loops over sets; this rule catches the
+    laundered version, where the set's arbitrary order is first captured
+    into a list/tuple (or straight into a string) and *then* flows into
+    scheduling or output. ``sorted(set(...))`` is the fix and is not
+    flagged.
+    """
+
+    code = "DET009"
+    name = "set-to-sequence"
+    summary = "set materialized into an ordered sequence without sorted()"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        is_sink = (
+            isinstance(func, ast.Name) and func.id in _SEQUENCE_SINKS
+        ) or (
+            isinstance(func, ast.Attribute) and func.attr == "join"
+        )
+        if not is_sink or not node.args:
+            return
+        if _is_set_expr(node.args[0]):
+            sink = func.id if isinstance(func, ast.Name) else "str.join"
+            yield self.finding(
+                node, ctx,
+                f"{sink}() over a set freezes hash order, which "
+                "PYTHONHASHSEED reshuffles per process, into a sequence; "
+                "use sorted() to pick a stable order first",
+            )
+
+
+#: dotted call names that iterate the filesystem in on-disk order
+_FS_ITER_CALLS = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+#: method names on Path-like objects with the same hazard
+_FS_ITER_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+@register
+class UnsortedFsIteration(LintRule):
+    """Filesystem iteration order is an OS artifact, not a contract.
+
+    ``os.listdir``/``Path.iterdir``/``glob`` return entries in whatever
+    order the filesystem reports them — which differs across machines
+    and even across runs. Any result that feeds file processing order or
+    output paths must be wrapped in ``sorted(...)``.
+    """
+
+    code = "DET010"
+    name = "fs-order"
+    summary = "filesystem iteration (listdir/glob/iterdir) without sorted()"
+    # The engine dispatches nodes without parent links; this rule needs
+    # to know each call's enclosing expression, so it hooks the Module
+    # node (ast.walk yields it first, exactly once) and does its own
+    # parent-tracked walk.
+    node_types = (ast.Module,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Module)
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(node):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            dotted = _dotted_name(sub.func)
+            is_fs_iter = dotted in _FS_ITER_CALLS or (
+                isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _FS_ITER_METHODS
+            )
+            if not is_fs_iter:
+                continue
+            wrapper = parents.get(sub)
+            if (
+                isinstance(wrapper, ast.Call)
+                and isinstance(wrapper.func, ast.Name)
+                and wrapper.func.id == "sorted"
+            ):
+                continue
+            label = dotted or f"<path>.{sub.func.attr}"  # type: ignore[union-attr]
+            yield self.finding(
+                sub, ctx,
+                f"{label}() yields entries in filesystem order, which is "
+                "not stable across machines; wrap the call in sorted()",
+            )
+
+
 def all_rules() -> list[LintRule]:
     """Fresh instances of every registered rule."""
     return [cls() for cls in RULES.values()]

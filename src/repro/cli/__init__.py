@@ -21,6 +21,8 @@
     repro failover --profile prof.json      # hot-path wall-clock attribution
     repro profile prof.json                 # ... rendered as a report
     repro lint src/repro               # determinism linter (DET rules)
+    repro verify                       # static control-plane verifier (VER rules)
+    repro verify tests/fixtures/verify/bad_gao_cycle.json
 
 Every command accepts ``--seed`` and the experiment ones accept scale
 knobs, so results are reproducible and tunable without code. ``-v``
@@ -50,6 +52,7 @@ from repro.cli import (
     sweep_cmd,
     topology_cmd,
     trace_cmd,
+    verify_cmd,
 )
 from repro.telemetry import logs
 
@@ -82,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         trace_cmd,
         obs_cmd,
         lint_cmd,
+        verify_cmd,
     ):
         module.register(subparsers)
     return parser

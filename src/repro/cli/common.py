@@ -15,7 +15,10 @@ handles the export on the way out.
 The same commands run the semantic pre-flight validator
 (:mod:`repro.analysis.preflight`) before any event fires;
 :func:`run_preflight` prints its findings and refuses the run on ERROR
-findings unless ``--no-preflight`` was given.
+findings unless ``--no-preflight`` was given. They also run the static
+control-plane verifier (:mod:`repro.verify`) over the exact
+technique/fault configuration about to execute; :func:`run_verify`
+refuses on VER errors unless ``--no-verify`` was given.
 """
 
 from __future__ import annotations
@@ -117,6 +120,11 @@ def add_preflight_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-preflight", action="store_true",
         help="skip the semantic pre-flight validation (run even on errors)",
     )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the static control-plane verification (run even on "
+             "VER errors)",
+    )
 
 
 def run_preflight(args: argparse.Namespace, deployment, **kwargs) -> bool:
@@ -143,6 +151,57 @@ def run_preflight(args: argparse.Namespace, deployment, **kwargs) -> bool:
     print(
         f"preflight: refusing to run with {len(report.errors)} error(s); "
         "use --no-preflight to override",
+        file=sys.stderr,
+    )
+    return False
+
+
+def run_verify(
+    args: argparse.Namespace,
+    deployment,
+    techniques,
+    fault_plan=None,
+    duration: float | None = None,
+    damping=None,
+    specific_site: str | None = None,
+) -> bool:
+    """Statically verify the run's control-plane configuration.
+
+    Builds a :class:`~repro.verify.world.VerifyWorld` from exactly what
+    the experiment is about to run — its deployment, technique roster,
+    fault plan, and duration — and runs the VER2xx analyses. Findings go
+    to stderr alongside the pre-flight ones. Returns False (the command
+    should exit with status 2) when blocking findings exist and
+    ``--no-verify`` was not given.
+
+    The gate runs in the parent process before any sweep fans out, so
+    its output is byte-identical for every ``--workers`` count.
+    """
+    from repro.verify import VerifyWorld, verify_world
+
+    world = VerifyWorld(
+        deployment=deployment,
+        techniques=[t for t in techniques if t is not None],
+        specific_site=specific_site,
+        fault_plan=fault_plan,
+        duration=duration,
+        damping=damping,
+        source="<run>",
+    )
+    report = verify_world(world)
+    for finding in report.findings:
+        print(f"verify: {finding.format()}", file=sys.stderr)
+    if report.ok:
+        return True
+    if getattr(args, "no_verify", False):
+        print(
+            f"verify: {len(report.errors)} error(s) overridden by --no-verify",
+            file=sys.stderr,
+        )
+        return True
+    print(
+        f"verify: refusing to run with {len(report.errors)} error(s); "
+        "use --no-verify to override",
         file=sys.stderr,
     )
     return False

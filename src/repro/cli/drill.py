@@ -11,6 +11,7 @@ from repro.cli.common import (
     add_telemetry_arguments,
     cell_timeout,
     run_preflight,
+    run_verify,
     sweep_progress,
     telemetry_session,
 )
@@ -65,6 +66,11 @@ def run(args: argparse.Namespace) -> int:
         if not run_preflight(
             args, deployment, technique=technique,
             duration=args.deadline, target_nodes=clients,
+        ):
+            return 2
+        if not run_verify(
+            args, deployment, [technique],
+            fault_plan=fault_plan, duration=args.deadline,
         ):
             return 2
         drill = RotationDrill(

@@ -13,6 +13,7 @@ from repro.cli.common import (
     cell_timeout,
     report_sweep_failures,
     run_preflight,
+    run_verify,
     telemetry_session,
 )
 from repro.core.experiment import FailoverConfig, FailoverExperiment
@@ -80,6 +81,11 @@ def run(args: argparse.Namespace) -> int:
         if not run_preflight(
             args, experiment.deployment, technique=technique,
             duration=args.duration, detection_delay=args.detection_delay,
+        ):
+            return 2
+        if not run_verify(
+            args, experiment.deployment, [technique],
+            duration=args.duration, specific_site=args.site,
         ):
             return 2
         print(f"failing {args.site} under {technique.name} "

@@ -69,7 +69,7 @@ def run(args: argparse.Namespace) -> int:
         findings = engine.lint_paths(args.paths)
         emit_findings(findings, layer="lint")
         if args.format == "json":
-            print(render_json(findings))
+            print(render_json(findings, files_checked=engine.files_checked))
         else:
-            print(render_text(findings))
+            print(render_text(findings, files_checked=engine.files_checked))
     return 1 if findings else 0

@@ -10,6 +10,7 @@ from repro.cli.common import (
     add_preflight_arguments,
     add_telemetry_arguments,
     run_preflight,
+    run_verify,
     telemetry_session,
 )
 from repro.core.scenarios import ScenarioRunner
@@ -79,6 +80,12 @@ def run(args: argparse.Namespace) -> int:
             args, deployment,
             technique=technique_by_name(args.technique),
             events=events, duration=args.duration,
+        ):
+            return 2
+        if not run_verify(
+            args, deployment, [technique_by_name(args.technique)],
+            fault_plan=fault_plan, duration=args.duration,
+            specific_site=args.site,
         ):
             return 2
         catchment = anycast_catchment(deployment.topology, deployment, seed=args.seed)

@@ -21,6 +21,7 @@ from repro.cli.common import (
     cell_timeout,
     report_sweep_failures,
     run_preflight,
+    run_verify,
     sweep_progress,
     telemetry_session,
 )
@@ -83,6 +84,10 @@ def run(args: argparse.Namespace) -> int:
         if not run_preflight(
             args, experiment.deployment, technique=None,
             duration=args.duration, detection_delay=args.detection_delay,
+        ):
+            return 2
+        if not run_verify(
+            args, experiment.deployment, techniques, duration=args.duration,
         ):
             return 2
 

@@ -1,0 +1,347 @@
+"""Symbolic announcement propagation.
+
+Computes the stable routing state a set of originations converges to —
+*without running the event engine*. The engine here is a synchronous
+SPVP evaluation: every router simultaneously recomputes its best route
+from its neighbors' previous-round exports, using the *simulator's own*
+decision process (:func:`repro.bgp.route.select_best`), import policy
+(:func:`repro.bgp.policy.import_local_pref`), and export policy
+(:func:`repro.bgp.policy.should_export`). Reusing those functions is
+what makes the result exact by construction: for Gao-Rexford-compliant
+worlds the stable state is unique (Griffin–Shepherd–Wilfong), so the
+symbolic fixed point equals whatever the asynchronous event simulation
+converges to, message timing notwithstanding.
+
+When the evaluation does *not* stabilize, the synchronous state
+sequence must revisit a state (the state space is finite) — a proven
+persistent oscillation under a fair activation schedule, i.e. a dispute
+wheel. The propagation result reports that instead of looping forever,
+which is how the VER211 dispute-wheel check works.
+
+Per-AS preference overrides (``preferences``) replace the
+relationship-derived LOCAL_PREF for specific (node, neighbor) pairs, so
+fixture worlds can express BAD-GADGET-style policies that oscillate
+without any customer-cone cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.policy import (
+    LOCAL_ORIGIN_PREF,
+    Relationship,
+    import_local_pref,
+    should_export,
+)
+from repro.bgp.route import Route, select_best
+from repro.net.addr import IPv4Prefix
+from repro.topology.generator import Topology
+
+
+@dataclass(frozen=True, slots=True)
+class Origination:
+    """One ``network.announce(...)`` call, as data.
+
+    Mirrors :class:`repro.bgp.router.OriginConfig` plus the announcing
+    node, so a technique's whole announcement plan is a list of these.
+    """
+
+    node: str
+    prefix: IPv4Prefix
+    prepend: int = 0
+    neighbors: frozenset[str] | None = None
+    med: int = 0
+
+    def exports_to(self, remote: str) -> bool:
+        return self.neighbors is None or remote in self.neighbors
+
+
+class PlanRecorder:
+    """A stand-in for :class:`BgpNetwork` that records announcements.
+
+    Techniques only call ``announce``/``withdraw``/``neighbors`` during
+    :meth:`announce_normal`, so driving one against this recorder yields
+    the exact origination list the real network would receive — prepend
+    counts, MEDs, and neighbor scoping included.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self.originations: list[Origination] = []
+
+    def announce(
+        self,
+        node: str,
+        prefix: IPv4Prefix,
+        prepend: int = 0,
+        neighbors: frozenset[str] | None = None,
+        med: int = 0,
+    ) -> None:
+        # Re-origination replaces, as BgpRouter.originate does.
+        self.withdraw(node, prefix)
+        self.originations.append(
+            Origination(node=node, prefix=prefix, prepend=prepend,
+                        neighbors=neighbors, med=med)
+        )
+
+    def withdraw(self, node: str, prefix: IPv4Prefix) -> bool:
+        before = len(self.originations)
+        self.originations = [
+            o for o in self.originations
+            if not (o.node == node and o.prefix == prefix)
+        ]
+        return len(self.originations) != before
+
+    def neighbors(self, node: str) -> dict[str, Relationship]:
+        return self._topology.neighbors(node)
+
+
+def record_plan(technique, deployment, specific_site: str,
+                prefix: IPv4Prefix, superprefix: IPv4Prefix) -> list[Origination]:
+    """The before-failure announcement plan of ``technique`` as data."""
+    recorder = PlanRecorder(deployment.topology)
+    technique.announce_normal(recorder, deployment, specific_site, prefix, superprefix)
+    return recorder.originations
+
+
+@dataclass(slots=True)
+class SymbolicGraph:
+    """The static view of a network the propagation runs over."""
+
+    #: node -> ASN
+    asn: dict[str, int]
+    #: node -> {neighbor: relationship of the *neighbor* from node's view}
+    adjacency: dict[str, dict[str, Relationship]]
+    #: optional per-(node, neighbor) LOCAL_PREF overrides
+    preferences: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_topology(
+        cls, topology: Topology,
+        preferences: dict[str, dict[str, int]] | None = None,
+    ) -> "SymbolicGraph":
+        asn = {node: info.asn for node, info in topology.ases.items()}
+        adjacency: dict[str, dict[str, Relationship]] = {node: {} for node in asn}
+        for link in topology.links:
+            adjacency[link.a][link.b] = link.relationship
+            adjacency[link.b][link.a] = link.relationship.inverse()
+        return cls(asn=asn, adjacency=adjacency, preferences=dict(preferences or {}))
+
+    def local_pref(self, node: str, neighbor: str) -> int:
+        """LOCAL_PREF ``node`` assigns to routes imported from ``neighbor``."""
+        override = self.preferences.get(node)
+        if override is not None and neighbor in override:
+            return override[neighbor]
+        return import_local_pref(self.adjacency[node][neighbor])
+
+
+@dataclass(slots=True)
+class PropagationResult:
+    """The symbolic fixed point for one prefix."""
+
+    prefix: IPv4Prefix
+    #: node -> selected best route (absent: no route)
+    best: dict[str, Route]
+    #: node -> {neighbor: route that neighbor's export left in the
+    #: node's Adj-RIB-In at the fixed point}
+    candidates: dict[str, dict[str, Route]]
+    #: False when the synchronous evaluation revisited a state without
+    #: stabilizing — a proven dispute wheel; ``best``/``candidates``
+    #: then hold the state at detection time, not a fixed point.
+    stable: bool
+    rounds: int
+    #: nodes whose best route was still changing when the oscillation
+    #: was detected (empty for stable results)
+    oscillating: tuple[str, ...] = ()
+
+    def origin_of(self, node: str) -> str | None:
+        route = self.best.get(node)
+        return route.origin_node if route is not None else None
+
+    def reached(self) -> set[str]:
+        """Nodes holding any route for the prefix (best or candidate)."""
+        nodes = set(self.best)
+        for node, per_neighbor in self.candidates.items():
+            if per_neighbor:
+                nodes.add(node)
+        return nodes
+
+    def carried_links(self) -> set[frozenset[str]]:
+        """Links over which the prefix is advertised at the fixed point.
+
+        A link carries the prefix when either end's Adj-RIB-In holds a
+        route from the other end; a fault on any *other* link provably
+        cannot change routing for this prefix (nothing it transports
+        mentions the prefix, and export decisions are link-local).
+        """
+        links: set[frozenset[str]] = set()
+        for node, per_neighbor in self.candidates.items():
+            for neighbor in per_neighbor:
+                links.add(frozenset((node, neighbor)))
+        return links
+
+    def forwarding_nodes(self) -> set[str]:
+        """Nodes that lie on some node's forwarding chain to the origin."""
+        on_path: set[str] = set()
+        for node in self.best:
+            current: str | None = node
+            seen: set[str] = set()
+            while current is not None and current not in seen:
+                seen.add(current)
+                on_path.add(current)
+                route = self.best.get(current)
+                current = route.learned_from if route is not None else None
+        return on_path
+
+
+def propagate(
+    graph: SymbolicGraph,
+    originations: list[Origination],
+    prefix: IPv4Prefix,
+    max_rounds: int | None = None,
+) -> PropagationResult:
+    """Run the synchronous SPVP evaluation for one prefix to its fixed
+    point (or to a proven oscillation).
+
+    ``originations`` may cover several prefixes; only those matching
+    ``prefix`` participate.
+    """
+    origins: dict[str, Origination] = {
+        o.node: o for o in originations if o.prefix == prefix
+    }
+    for node in origins:
+        if node not in graph.asn:
+            raise KeyError(f"origination at unknown node {node!r}")
+
+    local: dict[str, Route] = {
+        node: Route(prefix=prefix, as_path=(), learned_from=None,
+                    local_pref=LOCAL_ORIGIN_PREF, origin_node=node)
+        for node in origins
+    }
+    nodes = sorted(graph.asn)
+    best: dict[str, Route] = dict(local)
+    candidates: dict[str, dict[str, Route]] = {node: {} for node in nodes}
+
+    def export(sender: str, remote: str) -> Route | None:
+        """What ``sender`` advertises to ``remote``, mirroring
+        :meth:`BgpRouter._build_export` (None = withdrawal/no route)."""
+        route = best.get(sender)
+        if route is None:
+            return None
+        relationship = graph.adjacency[sender][remote]
+        if route.learned_from is None:
+            config = origins.get(sender)
+            if config is None or not config.exports_to(remote):
+                return None
+            as_path = (graph.asn[sender],) * (1 + config.prepend)
+            med = config.med
+        else:
+            if route.learned_from == remote:
+                return None
+            learned_over = graph.adjacency[sender][route.learned_from]
+            if not should_export(learned_over, relationship):
+                return None
+            as_path = (graph.asn[sender],) + route.as_path
+            med = 0
+        return Route(prefix=prefix, as_path=as_path, learned_from=sender,
+                     local_pref=0, origin_node=route.origin_node, med=med)
+
+    def state_key() -> tuple:
+        return tuple(
+            (node, route.as_path, route.learned_from)
+            for node, route in sorted(best.items())
+        )
+
+    cap = max_rounds if max_rounds is not None else 4 * len(nodes) + 16
+    seen_states = {state_key()}
+    rounds = 0
+    previous_best = dict(best)
+    while rounds < cap:
+        rounds += 1
+        new_candidates: dict[str, dict[str, Route]] = {node: {} for node in nodes}
+        for node in nodes:
+            for neighbor in sorted(graph.adjacency[node]):
+                relationship = graph.adjacency[node][neighbor]
+                if relationship is Relationship.COLLECTOR:
+                    continue  # collector sessions never import routes
+                advertised = export(neighbor, node)
+                if advertised is None:
+                    continue
+                if graph.asn[node] in advertised.as_path:
+                    continue  # AS-path loop rejection
+                new_candidates[node][neighbor] = Route(
+                    prefix=prefix,
+                    as_path=advertised.as_path,
+                    learned_from=neighbor,
+                    local_pref=graph.local_pref(node, neighbor),
+                    origin_node=advertised.origin_node,
+                    med=advertised.med,
+                )
+        new_best: dict[str, Route] = {}
+        for node in nodes:
+            chosen = select_best(
+                list(new_candidates[node].values())
+                + ([local[node]] if node in local else [])
+            )
+            if chosen is not None:
+                new_best[node] = chosen
+        changed = new_best != best
+        previous_best, best, candidates = best, new_best, new_candidates
+        if not changed:
+            return PropagationResult(
+                prefix=prefix, best=best, candidates=candidates,
+                stable=True, rounds=rounds,
+            )
+        key = state_key()
+        if key in seen_states:
+            oscillating = tuple(sorted(
+                node for node in nodes
+                if best.get(node) != previous_best.get(node)
+            ))
+            return PropagationResult(
+                prefix=prefix, best=best, candidates=candidates,
+                stable=False, rounds=rounds, oscillating=oscillating,
+            )
+        seen_states.add(key)
+    # The cap is a belt over the state-cycle braces; hitting it still
+    # means no fixed point was reached.
+    return PropagationResult(
+        prefix=prefix, best=best, candidates=candidates,
+        stable=False, rounds=rounds,
+        oscillating=tuple(sorted(
+            node for node in nodes
+            if best.get(node) != previous_best.get(node)
+        )),
+    )
+
+
+def ambiguous_ties(result: PropagationResult, node: str) -> list[Route]:
+    """Candidate routes at ``node`` that tie its best on every decisive
+    step of the BGP decision process.
+
+    A returned route loses only on the final arbitrary tie-break
+    (lowest neighbor id), i.e. (LOCAL_PREF, AS-path length, comparable
+    MED) cannot separate it from the selected route — the catchment at
+    this node is *ambiguous*: a different router id ordering, session
+    age, or real-world tie-break would route elsewhere.
+    """
+    best = result.best.get(node)
+    if best is None:
+        return []
+    ties: list[Route] = []
+    for route in result.candidates.get(node, {}).values():
+        if route == best:
+            continue
+        if route.local_pref != best.local_pref:
+            continue
+        if len(route.as_path) != len(best.as_path):
+            continue
+        med_comparable = (
+            route.as_path and best.as_path
+            and route.as_path[0] == best.as_path[0]
+        )
+        if med_comparable and route.med != best.med:
+            continue
+        ties.append(route)
+    return ties

@@ -1,0 +1,159 @@
+"""Gao-Rexford safety analysis (VER20x).
+
+Gao & Rexford's sufficient conditions for BGP convergence are
+structural: the provider-customer digraph must be acyclic (a hierarchy,
+not a loop), and routes must be exported valley-free. The simulator's
+export policy (:func:`repro.bgp.policy.should_export`) enforces
+valley-freeness by construction, so what remains to verify is the
+*graph*: no customer cycles (VER201), a peering-connected provider-free
+core (VER202), and — given both — which web clients any CDN site can
+actually reach over valley-free paths (VER203).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.bgp.policy import Relationship
+from repro.verify import checks
+from repro.verify.propagation import SymbolicGraph
+from repro.verify.world import VerifyWorld
+
+
+def _sample(names: list[str], limit: int = 6) -> str:
+    shown = ", ".join(names[:limit])
+    if len(names) > limit:
+        shown += f", ... ({len(names) - limit} more)"
+    return shown
+
+
+def customer_cycle_members(graph: SymbolicGraph) -> list[str]:
+    """Nodes on some provider-customer cycle (empty when acyclic).
+
+    Kahn's algorithm over the digraph with an edge provider -> customer;
+    whatever cannot be topologically ordered sits on a cycle.
+    """
+    customers: dict[str, list[str]] = {node: [] for node in graph.asn}
+    indegree: dict[str, int] = {node: 0 for node in graph.asn}
+    for node, neighbors in graph.adjacency.items():
+        for neighbor, relationship in neighbors.items():
+            if relationship is Relationship.CUSTOMER:
+                customers[node].append(neighbor)
+                indegree[neighbor] += 1
+    queue = deque(sorted(node for node, deg in indegree.items() if deg == 0))
+    ordered = 0
+    while queue:
+        node = queue.popleft()
+        ordered += 1
+        for customer in customers[node]:
+            indegree[customer] -= 1
+            if indegree[customer] == 0:
+                queue.append(customer)
+    return sorted(node for node, deg in indegree.items() if deg > 0)
+
+
+def check_gao_cycle(world: VerifyWorld, graph: SymbolicGraph) -> Iterator[Finding]:
+    members = customer_cycle_members(graph)
+    if members:
+        yield checks.GAO_CYCLE.finding(
+            f"provider-customer cycle through {_sample(members)}: the "
+            "customer-cone hierarchy is circular, so Gao-Rexford "
+            "convergence guarantees do not apply to this topology",
+            world.source,
+        )
+
+
+def core_components(graph: SymbolicGraph) -> list[list[str]]:
+    """Peering-connected components of the provider-free core.
+
+    A provider-free AS can only reach the rest of the Internet through
+    peers (it buys from nobody); if the provider-free core is not one
+    peering-connected component, destinations behind one fragment are
+    structurally unreachable from the others.
+    """
+    core = {
+        node for node, neighbors in graph.adjacency.items()
+        if not any(rel is Relationship.PROVIDER for rel in neighbors.values())
+    }
+    seen: set[str] = set()
+    components: list[list[str]] = []
+    for start in sorted(core):
+        if start in seen:
+            continue
+        component: list[str] = []
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            component.append(node)
+            for neighbor, relationship in graph.adjacency[node].items():
+                if neighbor in core and neighbor not in seen \
+                        and relationship is Relationship.PEER:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        components.append(sorted(component))
+    return components
+
+
+def check_core_partition(world: VerifyWorld, graph: SymbolicGraph) -> Iterator[Finding]:
+    components = core_components(graph)
+    if len(components) > 1:
+        parts = "; ".join(_sample(c, limit=4) for c in components)
+        yield checks.CORE_PARTITION.finding(
+            f"provider-free core splits into {len(components)} "
+            f"peering-disconnected fragments ({parts}): traffic cannot "
+            "cross between them valley-free",
+            world.source,
+        )
+
+
+def valley_free_reach(graph: SymbolicGraph, origins: set[str]) -> set[str]:
+    """Nodes reachable from ``origins`` over valley-free export chains.
+
+    Two-state BFS: a route still "ascending" (only customer->provider /
+    origin hops so far, possibly ending with one peer hop) may cross to
+    providers and peers; once it has been exported to a peer or down to
+    a customer it may only continue downhill. This is exactly the set of
+    nodes :func:`repro.verify.propagation.propagate` can deliver a route
+    to, computed without selecting best paths — so it is preference- and
+    technique-independent.
+    """
+    # state: (node, downhill_only)
+    seen: set[tuple[str, bool]] = {(node, False) for node in origins}
+    queue = deque(seen)
+    while queue:
+        node, downhill = queue.popleft()
+        for neighbor, relationship in graph.adjacency[node].items():
+            if relationship is Relationship.COLLECTOR:
+                continue
+            if relationship is Relationship.CUSTOMER:
+                state = (neighbor, True)
+            elif downhill:
+                continue  # peer/provider export of a non-customer route: valley
+            else:
+                state = (neighbor, True)  # crossing up or sideways ends ascent
+                if relationship is Relationship.PROVIDER:
+                    state = (neighbor, False)
+            if state not in seen:
+                seen.add(state)
+                queue.append(state)
+    return {node for node, _ in seen}
+
+
+def check_client_reach(world: VerifyWorld, graph: SymbolicGraph) -> Iterator[Finding]:
+    sites = world.sites()
+    clients = [info.node_id for info in world.topology.web_client_ases()]
+    if not sites or not clients:
+        return
+    origins = {world.deployment.site_node(name) for name in sites}
+    reach = valley_free_reach(graph, origins)
+    dark = sorted(node for node in clients if node not in reach)
+    if dark:
+        yield checks.CLIENT_UNREACHABLE.finding(
+            f"{len(dark)} web-client AS(es) no valley-free path from any "
+            f"CDN site can reach: {_sample(dark)}; every technique will "
+            "leave them without a route",
+            world.source,
+        )

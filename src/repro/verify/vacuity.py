@@ -1,0 +1,125 @@
+"""Fault-plan vacuity analysis (VER23x).
+
+A fault plan earns its runtime only if it can change something. Three
+ways it provably cannot:
+
+* it names links or nodes the world does not contain (VER231 — the
+  injector would skip them, so the drill silently tests nothing);
+* every route the planned prefixes produce flows elsewhere: a fault on
+  a link that carries no planned-prefix route at any analyzed stable
+  state — before failure or after the technique's reaction — cannot
+  change forwarding toward those prefixes (VER232);
+* the plan is empty, or a fault fires at/after the experiment ends
+  (VER233).
+
+VER232's claim is deliberately scoped: such a fault can still perturb
+*other* prefixes' routing and transient message traffic, which is why
+it warns instead of erroring.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.verify import checks
+from repro.verify.world import VerifyWorld
+
+
+def _fault_links(fault: FaultSpec) -> list[tuple[str, str]]:
+    a = getattr(fault, "a", None)
+    b = getattr(fault, "b", None)
+    return [(a, b)] if a and b else []
+
+
+def _fault_nodes(fault: FaultSpec) -> list[str]:
+    node = getattr(fault, "node", None)
+    return [node] if node else []
+
+
+def check_fault_targets(world: VerifyWorld, plan: FaultPlan) -> Iterator[Finding]:
+    topology = world.topology
+    for index, fault in enumerate(plan.faults):
+        for a, b in _fault_links(fault):
+            missing = [n for n in (a, b) if n not in topology.ases]
+            if missing:
+                yield checks.FAULT_UNKNOWN_TARGET.finding(
+                    f"faults[{index}] ({fault.kind}): unknown node(s) "
+                    f"{', '.join(sorted(missing))}; the injector would "
+                    "skip this fault and the drill would test nothing",
+                    world.source,
+                )
+            elif not topology.has_link(a, b):
+                yield checks.FAULT_UNKNOWN_TARGET.finding(
+                    f"faults[{index}] ({fault.kind}): no link between "
+                    f"{a} and {b} exists in this topology; the injector "
+                    "would skip this fault",
+                    world.source,
+                )
+        for node in _fault_nodes(fault):
+            if node not in topology.ases:
+                yield checks.FAULT_UNKNOWN_TARGET.finding(
+                    f"faults[{index}] ({fault.kind}): unknown node "
+                    f"{node!r}; the injector would skip this fault",
+                    world.source,
+                )
+
+
+def check_fault_vacuity(
+    world: VerifyWorld,
+    plan: FaultPlan,
+    covered_links: set[frozenset[str]],
+    covered_nodes: set[str],
+) -> Iterator[Finding]:
+    """VER232 against the union coverage of every analyzed propagation
+    (all techniques, normal and post-failure plans)."""
+    topology = world.topology
+    for index, fault in enumerate(plan.faults):
+        for a, b in _fault_links(fault):
+            if a not in topology.ases or b not in topology.ases:
+                continue  # VER231's problem
+            if not topology.has_link(a, b):
+                continue
+            if frozenset((a, b)) not in covered_links:
+                yield checks.FAULT_VACUOUS.finding(
+                    f"faults[{index}] ({fault.kind}) targets link "
+                    f"{a} <-> {b}, which carries no route for the planned "
+                    "prefixes in any analyzed configuration: the fault "
+                    "cannot affect forwarding toward the CDN prefixes "
+                    "(other prefixes may still notice)",
+                    world.source,
+                )
+        for node in _fault_nodes(fault):
+            if node not in topology.ases:
+                continue
+            if node not in covered_nodes:
+                yield checks.FAULT_VACUOUS.finding(
+                    f"faults[{index}] ({fault.kind}) targets node "
+                    f"{node}, which holds no route for the planned "
+                    "prefixes in any analyzed configuration: delaying or "
+                    "degrading it cannot affect forwarding toward the "
+                    "CDN prefixes",
+                    world.source,
+                )
+
+
+def check_plan_vacuity(world: VerifyWorld, plan: FaultPlan) -> Iterator[Finding]:
+    if not plan.faults:
+        yield checks.PLAN_VACUOUS.finding(
+            "fault plan contains no faults: the drill exercises the "
+            "no-fault baseline and every invariant check is vacuously "
+            "green",
+            world.source,
+        )
+        return
+    if world.duration is None:
+        return
+    for index, fault in enumerate(plan.faults):
+        if fault.at >= world.duration:
+            yield checks.PLAN_VACUOUS.finding(
+                f"faults[{index}] ({fault.kind}) fires at t={fault.at:g}s "
+                f">= the {world.duration:g}s experiment duration: it can "
+                "never be observed by this run",
+                world.source,
+            )

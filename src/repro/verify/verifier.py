@@ -1,0 +1,155 @@
+"""The static verifier's orchestrator.
+
+:func:`verify_world` runs every VER2xx analysis over one
+:class:`~repro.verify.world.VerifyWorld` and returns a
+:class:`~repro.analysis.findings.FindingCollector`, exactly the shape
+the pre-flight validator returns — so the CLI gate, the reporters, and
+telemetry treat both layers uniformly.
+
+Per-world suppression (``world.suppress``) and the CLI's
+``--select``/``--ignore`` mirror the linter's noqa mechanism: suppressed
+findings are counted (``verify.suppressed``) but not reported. Checks
+marked strict-only in the catalogue are dropped unless the world or the
+caller opts into the strict profile.
+"""
+
+from __future__ import annotations
+
+from repro import telemetry
+from repro.analysis.findings import Finding, FindingCollector, emit_findings
+from repro.verify import disputes, plans, safety, vacuity
+from repro.verify.checks import CHECKS
+from repro.verify.propagation import (
+    Origination,
+    PlanRecorder,
+    PropagationResult,
+    SymbolicGraph,
+    propagate,
+    record_plan,
+)
+from repro.verify.world import VerifyWorld
+
+
+def verify_world(
+    world: VerifyWorld,
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+    strict: bool = False,
+    max_rounds: int | None = None,
+) -> FindingCollector:
+    """Run all static analyses over ``world``.
+
+    ``select`` keeps only the given codes; ``ignore`` drops them (on top
+    of ``world.suppress``); ``strict`` enables the opportunity-cost
+    checks (VER212/VER223) regardless of the world's own flag.
+    """
+    tel = telemetry.current()
+    effective_strict = strict or world.strict
+    suppressed_codes = set(world.suppress) | set(ignore or ())
+    graph = SymbolicGraph.from_topology(world.topology, world.preferences)
+
+    findings: list[Finding] = []
+    findings += safety.check_gao_cycle(world, graph)
+    findings += safety.check_core_partition(world, graph)
+    findings += safety.check_client_reach(world, graph)
+
+    cache: dict[tuple[frozenset[Origination], object], PropagationResult] = {}
+    propagations = 0
+
+    def run_propagation(originations: list[Origination], prefix) -> PropagationResult:
+        nonlocal propagations
+        # Later originations replace earlier ones at the same node, as
+        # BgpRouter.originate does; normalizing here keeps the cache key
+        # canonical across plans that only differ in announce order.
+        per_node = {o.node: o for o in originations if o.prefix == prefix}
+        key = (frozenset(per_node.values()), prefix)
+        if key not in cache:
+            propagations += 1
+            cache[key] = propagate(graph, list(per_node.values()), prefix, max_rounds)
+        return cache[key]
+
+    covered_links: set[frozenset[str]] = set()
+    covered_nodes: set[str] = set()
+    specific = world.chosen_specific_site()
+    deployment = world.deployment
+
+    for technique in world.techniques:
+        if specific is None:
+            break
+        plan = record_plan(
+            technique, deployment, specific, world.prefix, world.superprefix
+        )
+        findings += plans.check_superprefix_cover(world, technique.name, plan)
+        results: dict[object, PropagationResult] = {}
+        for prefix in sorted({o.prefix for o in plan}):
+            result = run_propagation(plan, prefix)
+            results[prefix] = result
+            findings += disputes.check_dispute_wheel(world, technique.name, result)
+            if not result.stable:
+                continue
+            covered_links |= result.carried_links()
+            covered_nodes |= result.reached()
+            findings += plans.check_dead_prefix(world, technique.name, result)
+            findings += plans.check_ambiguous_catchment(world, technique.name, result)
+        specific_result = results.get(world.prefix)
+        if specific_result is not None and specific_result.stable:
+            findings += disputes.check_prepend_insufficient(
+                world, technique, specific_result
+            )
+        findings += plans.check_site_dark(
+            world, technique.name, plan,
+            lambda o: run_propagation([o], o.prefix),
+        )
+        # Post-failure coverage for vacuity: the failed site's
+        # originations are withdrawn and the technique reacts.
+        failed_node = deployment.site_node(specific)
+        reaction = PlanRecorder(world.topology)
+        technique.on_failure(
+            reaction, deployment, specific, world.prefix, world.superprefix
+        )
+        failure_plan = [
+            o for o in plan if o.node != failed_node
+        ] + reaction.originations
+        for prefix in sorted({o.prefix for o in failure_plan}):
+            result = run_propagation(failure_plan, prefix)
+            if result.stable:
+                covered_links |= result.carried_links()
+                covered_nodes |= result.reached()
+
+    findings += disputes.check_damping_starvation(world)
+
+    if world.fault_plan is not None:
+        findings += vacuity.check_fault_targets(world, world.fault_plan)
+        findings += vacuity.check_plan_vacuity(world, world.fault_plan)
+        if world.techniques and specific is not None:
+            findings += vacuity.check_fault_vacuity(
+                world, world.fault_plan, covered_links, covered_nodes
+            )
+
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        descriptor = CHECKS.get(finding.code)
+        if descriptor is not None and descriptor.strict_only and not effective_strict:
+            continue
+        if finding.code in suppressed_codes:
+            suppressed += 1
+            continue
+        if select and finding.code not in select:
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda finding: finding.sort_key())
+
+    if tel.enabled:
+        tel.inc("verify.runs")
+        tel.inc("verify.techniques", len(world.techniques))
+        tel.inc("verify.propagations", propagations)
+        tel.inc("verify.findings", len(kept))
+        tel.inc("verify.errors", sum(1 for f in kept if f.severity.blocking))
+        if suppressed:
+            tel.inc("verify.suppressed", suppressed)
+    emit_findings(kept, layer="verify")
+
+    collector = FindingCollector()
+    collector.extend(kept)
+    return collector

@@ -1,0 +1,166 @@
+"""The VER2xx checks against the known-bad fixture worlds.
+
+Each fixture under ``tests/fixtures/verify/`` exhibits exactly one
+violation class; the parametrized test asserts the verifier reports
+exactly that code and nothing else — catching both missed detections
+and collateral false positives in one assertion.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bgp.damping import DampingConfig
+from repro.verify import (
+    CHECKS,
+    all_checks,
+    default_world,
+    load_world,
+    resolve_codes,
+    verify_world,
+    world_from_dict,
+)
+from repro.verify.disputes import max_suppression_seconds
+
+FIXTURES = Path(__file__).parent / "fixtures" / "verify"
+
+#: fixture stem -> the exact finding codes the verifier must report
+EXPECTED = {
+    "clean": frozenset(),
+    "bad_gao_cycle": frozenset({"VER201"}),
+    "bad_core_partition": frozenset({"VER202"}),
+    "bad_client_unreachable": frozenset({"VER203"}),
+    "bad_dispute_wheel": frozenset({"VER211"}),
+    "bad_prepend": frozenset({"VER212"}),
+    "bad_damping": frozenset({"VER213"}),
+    "bad_dead_prefix": frozenset({"VER221"}),
+    "bad_superprefix": frozenset({"VER222"}),
+    "bad_ambiguous": frozenset({"VER223"}),
+    "bad_site_dark": frozenset({"VER224"}),
+    "bad_fault_unknown": frozenset({"VER231"}),
+    "bad_fault_vacuous": frozenset({"VER232"}),
+    "bad_plan_vacuous": frozenset({"VER233"}),
+}
+
+
+def test_fixture_set_covers_every_check():
+    covered = frozenset().union(*EXPECTED.values())
+    assert covered == frozenset(CHECKS), "add a fixture for each new check"
+
+
+def test_no_stray_fixtures():
+    stems = {path.stem for path in FIXTURES.glob("*.json")}
+    assert stems == set(EXPECTED)
+
+
+@pytest.mark.parametrize("stem", sorted(EXPECTED))
+def test_fixture_reports_exactly_its_codes(stem):
+    world = load_world(FIXTURES / f"{stem}.json")
+    report = verify_world(world)
+    assert {f.code for f in report.findings} == EXPECTED[stem]
+
+
+def test_findings_carry_fixture_path_as_source():
+    path = FIXTURES / "bad_gao_cycle.json"
+    report = verify_world(load_world(path))
+    assert all(f.source == str(path) for f in report.findings)
+
+
+def test_blocking_semantics_follow_severity():
+    errors = verify_world(load_world(FIXTURES / "bad_gao_cycle.json"))
+    warnings = verify_world(load_world(FIXTURES / "bad_damping.json"))
+    assert not errors.ok
+    assert warnings.ok and warnings.findings
+
+
+class TestProfiles:
+    def test_strict_only_checks_silent_without_opt_in(self):
+        data = json.loads((FIXTURES / "bad_ambiguous.json").read_text())
+        data["strict"] = False
+        report = verify_world(world_from_dict(data))
+        assert report.findings == []
+
+    def test_caller_strict_overrides_world(self):
+        data = json.loads((FIXTURES / "bad_ambiguous.json").read_text())
+        data["strict"] = False
+        report = verify_world(world_from_dict(data), strict=True)
+        assert {f.code for f in report.findings} == {"VER223"}
+
+    def test_ignore_mirrors_noqa(self):
+        world = load_world(FIXTURES / "bad_gao_cycle.json")
+        assert verify_world(world, ignore={"VER201"}).findings == []
+
+    def test_select_keeps_only_requested(self):
+        world = load_world(FIXTURES / "bad_gao_cycle.json")
+        assert verify_world(world, select={"VER202"}).findings == []
+        assert len(verify_world(world, select={"VER201"}).findings) == 1
+
+
+class TestDefaultWorld:
+    def test_shipped_testbed_verifies_clean(self):
+        """Acceptance: zero findings on the shipped deployment, full roster."""
+        report = verify_world(default_world(seed=42))
+        assert report.findings == []
+
+    def test_testbed_strict_profile_flags_only_ambiguity(self):
+        report = verify_world(default_world(seed=42), strict=True)
+        assert report.ok  # warnings only
+        assert {f.code for f in report.findings} == {"VER223"}
+
+
+class TestWorldSchema:
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown world keys"):
+            world_from_dict({"ases": [], "nope": 1})
+
+    def test_ases_required(self):
+        with pytest.raises(ValueError, match="'ases'"):
+            world_from_dict({})
+
+    def test_unknown_relationship_rejected(self):
+        with pytest.raises(ValueError, match="unknown relationship"):
+            world_from_dict({
+                "ases": [{"node": "a", "asn": 1}, {"node": "b", "asn": 2}],
+                "links": [{"a": "a", "b": "b", "rel": "frenemy"}],
+            })
+
+    def test_preferences_must_name_neighbors(self):
+        with pytest.raises(ValueError, match="not a neighbor"):
+            world_from_dict({
+                "ases": [{"node": "a", "asn": 1}, {"node": "b", "asn": 2}],
+                "preferences": {"a": {"b": 250}},
+            })
+
+    def test_technique_and_techniques_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            world_from_dict({
+                "ases": [{"node": "a", "asn": 1}],
+                "technique": "anycast",
+                "techniques": ["anycast"],
+            })
+
+    def test_load_world_prefixes_errors_with_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        with pytest.raises(ValueError, match=str(path)):
+            load_world(path)
+
+
+class TestCatalogue:
+    def test_codes_are_unique_and_ver_prefixed(self):
+        codes = [check.code for check in all_checks()]
+        assert len(codes) == len(set(codes))
+        assert all(code.startswith("VER2") for code in codes)
+
+    def test_resolve_codes_accepts_codes_and_names(self):
+        assert resolve_codes(["VER201", "dispute-wheel"]) == {"VER201", "VER211"}
+
+    def test_resolve_codes_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown verify check"):
+            resolve_codes(["VER999"])
+
+
+def test_max_suppression_matches_cisco_defaults():
+    # half_life 900s, ceiling 12000, reuse 750: 900 * log2(16) = 3600s
+    assert max_suppression_seconds(DampingConfig()) == pytest.approx(3600.0)
