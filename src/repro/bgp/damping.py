@@ -82,6 +82,11 @@ class RouteDamping:
         self.owner = owner
         self._telemetry = telemetry_registry.current()
         self._state: dict[tuple[IPv4Prefix, str], _FlapState] = {}
+        #: per-prefix index of currently suppressed neighbors, kept in
+        #: sync with the ``suppressed`` flags in ``_state`` so the
+        #: per-reselect ``suppressed_neighbors`` query is O(1) instead of
+        #: a scan over every (prefix, neighbor) pair ever flapped.
+        self._suppressed: dict[IPv4Prefix, set[str]] = {}
         #: flaps recorded (diagnostics)
         self.flaps = 0
         #: suppression episodes started (diagnostics)
@@ -103,6 +108,7 @@ class RouteDamping:
         self.flaps += 1
         if not state.suppressed and state.penalty >= self.config.suppress_threshold:
             state.suppressed = True
+            self._suppressed.setdefault(prefix, set()).add(neighbor)
             self.suppressions += 1
             telemetry = self._telemetry
             if telemetry.enabled:
@@ -143,6 +149,11 @@ class RouteDamping:
             state.penalty = penalty
             state.updated_at = now
             state.suppressed = False
+            remaining = self._suppressed.get(prefix)
+            if remaining is not None:
+                remaining.discard(neighbor)
+                if not remaining:
+                    del self._suppressed[prefix]
             self.on_release(prefix)
         else:
             # More flaps arrived while suppressed; wait out the new decay.
@@ -155,12 +166,14 @@ class RouteDamping:
         return state is not None and state.suppressed
 
     def suppressed_neighbors(self, prefix: IPv4Prefix) -> set[str]:
-        """Neighbors whose routes for ``prefix`` are currently unusable."""
-        return {
-            neighbor
-            for (pfx, neighbor), state in self._state.items()
-            if pfx == prefix and state.suppressed
-        }
+        """Neighbors whose routes for ``prefix`` are currently unusable.
+
+        Served from the per-prefix index (O(suppressed entries for this
+        prefix)); every ``_reselect`` asks, so scanning the full flap
+        state here was the damped sweep's hot spot.
+        """
+        suppressed = self._suppressed.get(prefix)
+        return set(suppressed) if suppressed else set()
 
     def penalty(self, prefix: IPv4Prefix, neighbor: str) -> float:
         """Current (decayed) penalty, for tests and diagnostics."""
@@ -168,3 +181,41 @@ class RouteDamping:
         if state is None:
             return 0.0
         return self._decayed_penalty(state, self.engine.now)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.checkpoint)
+
+    def export_state(self) -> list[tuple[IPv4Prefix, str, float, float, bool, int]]:
+        """Plain-data flap state, sorted for deterministic snapshots."""
+        return sorted(
+            (prefix, neighbor, s.penalty, s.updated_at, s.suppressed, s.generation)
+            for (prefix, neighbor), s in self._state.items()
+        )
+
+    def import_state(
+        self,
+        entries: list[tuple[IPv4Prefix, str, float, float, bool, int]],
+        flaps: int,
+        suppressions: int,
+    ) -> None:
+        """Rebuild flap state from :meth:`export_state` output.
+
+        Suppressed entries re-arm their release timers (a live network
+        always has one scheduled per suppression; the snapshot dropped
+        it along with the rest of the event queue).
+        """
+        self._state = {}
+        self._suppressed = {}
+        for prefix, neighbor, penalty, updated_at, suppressed, generation in entries:
+            state = _FlapState(
+                penalty=penalty,
+                updated_at=updated_at,
+                suppressed=suppressed,
+                generation=generation,
+            )
+            self._state[(prefix, neighbor)] = state
+            if suppressed:
+                self._suppressed.setdefault(prefix, set()).add(neighbor)
+                self._schedule_release(prefix, neighbor, state)
+        self.flaps = flaps
+        self.suppressions = suppressions

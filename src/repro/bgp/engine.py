@@ -77,6 +77,26 @@ class EventEngine:
         """Total number of events executed so far."""
         return self._processed
 
+    def peek(self) -> float | None:
+        """The scheduled time of the next event, or None when idle."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def warp(self, now: float) -> None:
+        """Jump an *idle* engine's clock to ``now`` (checkpoint restore).
+
+        Only an empty queue may warp: with events pending, a clock jump
+        would change their relative firing order against anything
+        scheduled afterwards. Going backwards is refused for the same
+        reason ``schedule_at`` refuses the past.
+        """
+        if self._queue:
+            raise RuntimeError(f"cannot warp with {len(self._queue)} event(s) queued")
+        if now < self._now:
+            raise ValueError(f"cannot warp to {now} < now {self._now}")
+        self._now = now
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` seconds from the current time."""
         if delay < 0:

@@ -8,7 +8,6 @@ routers or sessions.
 
 from __future__ import annotations
 
-import itertools
 import random
 from contextlib import contextmanager
 from typing import Iterator
@@ -43,8 +42,9 @@ class BgpNetwork:
         #: provenance: monotone cause-id allocator (per network, so a
         #: fresh simulation always numbers its chains from 1 and serial
         #: vs parallel sweeps stay byte-identical) and the currently
-        #: active root cause (0 = none).
-        self._cause_counter = itertools.count(1)
+        #: active root cause (0 = none). A plain int rather than
+        #: itertools.count so checkpoint snapshots can capture it.
+        self._next_cause = 1
         self.current_cause = 0
         self.default_timing = default_timing or SessionTiming()
         self.damping_config = damping
@@ -77,7 +77,8 @@ class BgpNetwork:
         for the simulation), but the :class:`RootCause` event is only
         emitted into an enabled trace.
         """
-        cause = next(self._cause_counter)
+        cause = self._next_cause
+        self._next_cause += 1
         telemetry = self._telemetry
         if telemetry.enabled:
             telemetry.emit(
@@ -309,8 +310,13 @@ class BgpNetwork:
         """Fail every adjacency of ``node`` (router crash / facility
         outage). Returns the now-disconnected neighbor list."""
         neighbors = list(self.adjacency.get(node, {}))
-        for neighbor in neighbors:
-            self.fail_link(node, neighbor)
+        if neighbors:
+            # One root action: every per-link teardown inherits the same
+            # cause, so `repro explain` shows a single node-down chain
+            # instead of one unrelated chain per adjacency.
+            with self.caused_by(self.root_cause("node-down", node)):
+                for neighbor in neighbors:
+                    self.fail_link(node, neighbor)
         return neighbors
 
     # ------------------------------------------------------------------
@@ -356,12 +362,21 @@ class BgpNetwork:
     def converge(self, max_seconds: float = 3600.0) -> float:
         """Run until no BGP events remain (or ``max_seconds`` elapse).
 
-        Returns the simulated time at which the network went quiet.
+        Returns the simulated time at which the network went quiet. When
+        the deadline hits first, the clock is clamped *at* the deadline
+        and the overdue event stays queued, exactly like
+        :meth:`EventEngine.run_until` -- an event scheduled past the
+        deadline never executes, so the clock cannot overshoot.
         """
         deadline = self.engine.now + max_seconds
-        while self.engine.pending and self.engine.now < deadline:
+        while True:
+            when = self.engine.peek()
+            if when is None:
+                return self.engine.now
+            if when > deadline:
+                self.engine.run_until(deadline)
+                return self.engine.now
             self.engine.step()
-        return self.engine.now
 
     @property
     def now(self) -> float:

@@ -58,6 +58,18 @@ class AdjRibIn:
                 affected.append(prefix)
         return affected
 
+    def export_state(self) -> dict[IPv4Prefix, dict[str, Route]]:
+        """A deep-enough copy of the table (checkpoint snapshots).
+
+        Routes themselves are immutable, so copying the two dict levels
+        fully decouples the snapshot from the live RIB.
+        """
+        return {prefix: dict(routes) for prefix, routes in self._routes.items()}
+
+    def import_state(self, state: dict[IPv4Prefix, dict[str, Route]]) -> None:
+        """Replace the table with :meth:`export_state` output."""
+        self._routes = {prefix: dict(routes) for prefix, routes in state.items()}
+
 
 class LocRib:
     """Selected best route per prefix."""
@@ -79,6 +91,14 @@ class LocRib:
 
     def __len__(self) -> int:
         return len(self._best)
+
+    def export_state(self) -> dict[IPv4Prefix, Route]:
+        """A copy of the selection table (checkpoint snapshots)."""
+        return dict(self._best)
+
+    def import_state(self, state: dict[IPv4Prefix, Route]) -> None:
+        """Replace the selection table with :meth:`export_state` output."""
+        self._best = dict(state)
 
 
 def decide(

@@ -183,6 +183,15 @@ class BgpRouter:
     def origin_config(self, prefix: IPv4Prefix) -> OriginConfig | None:
         return self._origins.get(prefix)
 
+    def export_origins(self) -> dict[IPv4Prefix, OriginConfig]:
+        """A copy of the origination table (checkpoint snapshots)."""
+        return dict(self._origins)
+
+    def import_origins(self, origins: dict[IPv4Prefix, OriginConfig]) -> None:
+        """Replace the origination table *without* reselecting/exporting
+        (checkpoint restore repopulates RIBs and FIB directly)."""
+        self._origins = dict(origins)
+
     def _local_route(self, prefix: IPv4Prefix) -> Route | None:
         if prefix not in self._origins:
             return None

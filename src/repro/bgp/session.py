@@ -197,7 +197,7 @@ class Session:
                 # residual life before this update can leave.
                 self._mrai_running = True
                 residual = self.rng.uniform(0, self.mrai)
-                self.engine.schedule(residual, self._mrai_expired)
+                self.engine.schedule(residual, self._make_mrai_expiry())
             else:
                 self._flush()
                 self._start_mrai()
@@ -260,10 +260,65 @@ class Session:
             return
         self._mrai_running = True
         duration = self.rng.uniform(0.75 * self.mrai, 1.25 * self.mrai)
-        self.engine.schedule(duration, self._mrai_expired)
+        self.engine.schedule(duration, self._make_mrai_expiry())
 
-    def _mrai_expired(self) -> None:
-        self._mrai_running = False
-        if self._pending:
-            self._flush()
-            self._start_mrai()
+    def _make_mrai_expiry(self) -> Callable[[], None]:
+        epoch = self.epoch
+
+        def mrai_expired() -> None:
+            # A timer armed before a session reset must not act after
+            # reopen(): it would clear _mrai_running under a *new* timer
+            # and flush the new epoch's pending updates early, breaking
+            # MRAI pacing. Same epoch check as _make_delivery.
+            if epoch != self.epoch:
+                return
+            self._mrai_running = False
+            if self._pending:
+                self._flush()
+                self._start_mrai()
+
+        return mrai_expired
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.checkpoint)
+
+    def transfer_state(self) -> dict:
+        """Plain-data transfer state for a *quiescent* session.
+
+        With the event queue drained there are no pending updates and no
+        running MRAI timer, so the effective MRAI, delivery epoch,
+        advertised set, and delivery/loss bookkeeping are the whole
+        state. Raises if the session still has live timers or pending
+        updates (the caller snapshotted a non-quiescent network).
+        """
+        if self._pending or self._mrai_running:
+            raise RuntimeError(
+                f"session {self.local!r}->{self.remote!r} is not quiescent "
+                f"(pending={len(self._pending)}, mrai_running={self._mrai_running})"
+            )
+        return {
+            "mrai": self.mrai,
+            "epoch": self.epoch,
+            "advertised": sorted(self.advertised),
+            "sent_updates": self.sent_updates,
+            "last_delivery": self._last_delivery,
+            "loss_prob": self.loss_prob,
+            "dup_prob": self.dup_prob,
+            "closed": self.closed,
+        }
+
+    def restore_transfer_state(self, state: dict) -> None:
+        """Overwrite this session's transfer state from a snapshot.
+
+        In particular the *effective* MRAI is restored verbatim: the
+        constructor's heterogeneity draw (``mrai_sigma``) is discarded so
+        a restored session paces exactly like the one snapshotted.
+        """
+        self.mrai = state["mrai"]
+        self.epoch = state["epoch"]
+        self.advertised = set(state["advertised"])
+        self.sent_updates = state["sent_updates"]
+        self._last_delivery = state["last_delivery"]
+        self.loss_prob = state["loss_prob"]
+        self.dup_prob = state["dup_prob"]
+        self.closed = state["closed"]

@@ -1,0 +1,30 @@
+"""Checkpoint/fork for converged networks (see docs/checkpoint.md).
+
+Public API: :func:`snapshot_network` captures a quiescent
+:class:`~repro.bgp.network.BgpNetwork` as plain picklable data;
+:func:`restore_network` rebuilds a live, independent network from it.
+:class:`~repro.core.experiment.FailoverExperiment` uses the pair to run
+each technique's baseline convergence once and fork it per sweep cell.
+"""
+
+from repro.checkpoint.codec import (
+    SNAPSHOT_SCHEMA,
+    CheckpointError,
+    NetworkSnapshot,
+    NotQuiescentError,
+    RouterState,
+    SessionState,
+    restore_network,
+    snapshot_network,
+)
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "CheckpointError",
+    "NetworkSnapshot",
+    "NotQuiescentError",
+    "RouterState",
+    "SessionState",
+    "restore_network",
+    "snapshot_network",
+]

@@ -38,6 +38,12 @@ def add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         "--silent", action="store_true",
         help="silent failure: the site cannot withdraw its own prefixes",
     )
+    parser.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="cold-start every cell's baseline convergence instead of "
+             "forking the per-technique checkpoint (slower; the legacy "
+             "numerics -- see docs/checkpoint.md)",
+    )
 
 
 def make_experiment(args: argparse.Namespace) -> FailoverExperiment:
@@ -49,7 +55,12 @@ def make_experiment(args: argparse.Namespace) -> FailoverExperiment:
         seed=args.seed,
         silent_failure=args.silent,
     )
-    return FailoverExperiment(deployment.topology, deployment, config)
+    return FailoverExperiment(
+        deployment.topology,
+        deployment,
+        config,
+        use_checkpoint=not args.no_checkpoint,
+    )
 
 
 def register(subparsers) -> None:

@@ -81,6 +81,23 @@ class CdnController:
                 self.network, self.deployment, specific_site, self.prefix, self.superprefix
             )
 
+    def deploy_specific(self, specific_site: str) -> None:
+        """Checkpoint-fork path: apply only the per-site delta.
+
+        The network this controller drives was restored from a snapshot
+        that already converged the technique's ``announce_base`` plan;
+        this applies ``announce_specific`` on top, reaching the same
+        origin configurations as :meth:`deploy` would from scratch.
+        """
+        if specific_site not in self.deployment.sites:
+            raise KeyError(f"unknown site {specific_site!r}")
+        self.deployed_site = specific_site
+        cause = self.network.root_cause("deploy", specific_site, self.technique.name)
+        with self.network.caused_by(cause):
+            self.technique.announce_specific(
+                self.network, self.deployment, specific_site, self.prefix, self.superprefix
+            )
+
     def recover_site(self, site: str) -> None:
         """Bring a failed site back: re-make the normal announcements and
         roll back any reactive reconfiguration.

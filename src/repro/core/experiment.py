@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.bgp.damping import DampingConfig
 from repro.bgp.session import DEFAULT_INTERNET_TIMING, SessionTiming
+from repro.checkpoint import NetworkSnapshot, restore_network, snapshot_network
 from repro.core.controller import CdnController
 from repro.core.metrics import TargetOutcome, outcomes_for_run
 from repro.core.techniques import Technique
@@ -105,16 +106,26 @@ class FailoverExperiment:
         catchment: dict[str, str | None] | None = None,
         hitlist: Hitlist | None = None,
         selections: dict[str, TargetSelection] | None = None,
+        baselines: dict[str, NetworkSnapshot] | None = None,
+        use_checkpoint: bool = False,
     ) -> None:
         self.topology = topology
         self.deployment = deployment
         self.config = config or FailoverConfig()
+        #: run cells on the checkpoint/fork fast path (see
+        #: docs/checkpoint.md). Off by default in the library; the CLIs
+        #: turn it on (opt out with --no-checkpoint). The forked path is
+        #: self-deterministic but *not* numerically identical to the
+        #: legacy cold-start path: per-cell runs no longer spend RNG
+        #: draws on their own baseline convergence.
+        self.use_checkpoint = use_checkpoint
         # The keyword arguments pre-seed the topology-only caches; sweep
         # workers use them so shared state computed once in the parent is
         # never silently recomputed per process.
         self._catchment: dict[str, str | None] | None = catchment
         self._hitlist: Hitlist | None = hitlist
         self._selections: dict[str, TargetSelection] = dict(selections or {})
+        self._baselines: dict[str, NetworkSnapshot] = dict(baselines or {})
 
     # ------------------------------------------------------------------
     # Shared, topology-only state
@@ -189,10 +200,65 @@ class FailoverExperiment:
         return dict(self._selections)
 
     # ------------------------------------------------------------------
+    # Checkpoint baselines (one converged snapshot per technique)
+
+    def baseline_for(self, technique: Technique) -> NetworkSnapshot:
+        """The technique's converged base snapshot, computed once.
+
+        Builds a fresh network, makes the technique's site-independent
+        ``announce_base`` plan, converges, and snapshots. Cached by
+        ``technique.baseline_key`` -- on the 5x8 matrix this is what
+        turns forty deploy+converge runs into five. The baseline seed is
+        derived from the baseline key alone (crc32, like per-cell
+        seeds), so a technique's snapshot is byte-identical wherever it
+        is computed.
+        """
+        key = technique.baseline_key
+        snapshot = self._baselines.get(key)
+        if snapshot is not None:
+            return snapshot
+        config = self.config
+        telemetry = telemetry_registry.current()
+        base_seed = (config.seed * 1000003) ^ zlib.crc32(f"{key}/baseline".encode())
+        with telemetry.phase("baseline-converge", technique=technique.name):
+            network = self.topology.build_network(
+                seed=base_seed, timing=config.timing, damping=config.damping
+            )
+            cause = network.new_cause("deploy-base", technique.name)
+            with network.caused_by(cause):
+                technique.announce_base(
+                    network, self.deployment, SPECIFIC_PREFIX, SUPERPREFIX
+                )
+            network.converge()
+            snapshot = snapshot_network(network)
+        self._baselines[key] = snapshot
+        return snapshot
+
+    def cached_baselines(self) -> dict[str, NetworkSnapshot]:
+        """A copy of the per-technique baseline cache (for shipping to
+        sweep workers)."""
+        return dict(self._baselines)
+
+    # ------------------------------------------------------------------
     # One run
 
-    def run_site(self, technique: Technique, site: str) -> SiteFailoverResult:
-        """Fail ``site`` under ``technique`` and measure every target."""
+    def run_site(
+        self, technique: Technique, site: str, *, checkpoint: bool | None = None
+    ) -> SiteFailoverResult:
+        """Fail ``site`` under ``technique`` and measure every target.
+
+        ``checkpoint`` overrides the experiment-wide ``use_checkpoint``
+        for this one cell. On the checkpoint path the cell forks the
+        technique's converged base snapshot (:meth:`baseline_for`),
+        reseeds the forked RNG from the cell's crc32 tag, applies the
+        per-site announcement delta, and converges only that delta --
+        the failure+probe window then runs exactly as on the legacy
+        path. Forked cells are self-deterministic (byte-identical across
+        repeats and worker counts) but numerically different from
+        cold-started cells: the per-cell RNG no longer spends draws on
+        baseline convergence.
+        """
+        use_checkpoint = self.use_checkpoint if checkpoint is None else checkpoint
         config = self.config
         telemetry = telemetry_registry.current()
         # Each run gets a fresh network; drop any previous run's clock so
@@ -202,20 +268,39 @@ class FailoverExperiment:
         # str hashes are salted per process; crc32 keeps runs reproducible.
         run_tag = zlib.crc32(f"{technique.name}/{site}".encode())
         run_seed = (config.seed * 1000003) ^ run_tag
-        with telemetry.phase("deploy-converge", **tags):
-            network = self.topology.build_network(
-                seed=run_seed, timing=config.timing, damping=config.damping
-            )
-            controller = CdnController(
-                network=network,
-                deployment=self.deployment,
-                technique=technique,
-                prefix=SPECIFIC_PREFIX,
-                superprefix=SUPERPREFIX,
-                detection_delay=config.detection_delay,
-            )
-            controller.deploy(site)
-            network.converge()
+        if use_checkpoint:
+            snapshot = self.baseline_for(technique)
+            with telemetry.phase("fork-restore", **tags):
+                network = restore_network(snapshot)
+                # The fork draws from a fresh per-cell stream; the
+                # baseline's RNG position is shared by every cell of the
+                # technique and must not leak cell-to-cell correlations.
+                network.rng.seed(run_seed)
+                controller = CdnController(
+                    network=network,
+                    deployment=self.deployment,
+                    technique=technique,
+                    prefix=SPECIFIC_PREFIX,
+                    superprefix=SUPERPREFIX,
+                    detection_delay=config.detection_delay,
+                )
+                controller.deploy_specific(site)
+                network.converge()
+        else:
+            with telemetry.phase("deploy-converge", **tags):
+                network = self.topology.build_network(
+                    seed=run_seed, timing=config.timing, damping=config.damping
+                )
+                controller = CdnController(
+                    network=network,
+                    deployment=self.deployment,
+                    technique=technique,
+                    prefix=SPECIFIC_PREFIX,
+                    superprefix=SUPERPREFIX,
+                    detection_delay=config.detection_delay,
+                )
+                controller.deploy(site)
+                network.converge()
 
         # The clock guard keeps the run network's engine bound as the
         # trace clock: target selection builds throwaway networks

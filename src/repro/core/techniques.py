@@ -70,6 +70,60 @@ class Technique(abc.ABC):
     ) -> None:
         """Make the before-failure announcements of Figure 1."""
 
+    # ------------------------------------------------------------------
+    # Checkpoint/fork decomposition (see docs/checkpoint.md)
+    #
+    # The sweep's checkpoint path splits announce_normal into a
+    # site-independent *base* (converged once per technique, then
+    # snapshotted) and a per-site *specific* delta (applied on each
+    # fork). The invariant every override must keep:
+    #
+    #   announce_base(); converge(); announce_specific(site); converge()
+    #
+    # reaches the same origin configurations as announce_normal(site).
+    # Convergence of the delta is cheap because it only *adds* or
+    # re-shapes announcements -- fresh announcements propagate in
+    # seconds, and it is withdrawals (which never appear here) that pay
+    # path hunting.
+
+    @property
+    def baseline_key(self) -> str:
+        """Cache key for the technique's base snapshot.
+
+        Techniques whose ``announce_base`` plans differ must not share a
+        key; the default reuses ``name``, which already encodes every
+        parameter that shapes announcements (prepend count, MED).
+        """
+        return self.name
+
+    def announce_base(
+        self,
+        network: BgpNetwork,
+        deployment: CdnDeployment,
+        prefix: IPv4Prefix,
+        superprefix: IPv4Prefix,
+    ) -> None:
+        """The site-independent part of :meth:`announce_normal`.
+
+        Default: nothing -- correct for any technique whose normal
+        announcements all depend on the specific site.
+        """
+
+    def announce_specific(
+        self,
+        network: BgpNetwork,
+        deployment: CdnDeployment,
+        specific_site: str,
+        prefix: IPv4Prefix,
+        superprefix: IPv4Prefix,
+    ) -> None:
+        """The per-site delta on top of :meth:`announce_base`.
+
+        Default: the full :meth:`announce_normal`, which is exactly
+        right when ``announce_base`` announced nothing.
+        """
+        self.announce_normal(network, deployment, specific_site, prefix, superprefix)
+
     def on_failure(
         self,
         network: BgpNetwork,
@@ -138,6 +192,14 @@ class Anycast(Technique):
         for site in deployment.site_names:
             network.announce(deployment.site_node(site), prefix)
 
+    def announce_base(self, network, deployment, prefix, superprefix):
+        # Pure anycast is entirely site-independent; every site announces.
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), prefix)
+
+    def announce_specific(self, network, deployment, specific_site, prefix, superprefix):
+        pass  # nothing is specific to the intended site
+
 
 class ProactiveSuperprefix(Technique):
     """Unicast /24 plus a covering /23 from every site (§3).
@@ -155,6 +217,15 @@ class ProactiveSuperprefix(Technique):
         network.announce(deployment.site_node(specific_site), prefix)
         for site in deployment.site_names:
             network.announce(deployment.site_node(site), superprefix)
+
+    def announce_base(self, network, deployment, prefix, superprefix):
+        # The covering /23 comes from every site regardless of which
+        # site is the intended one.
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), superprefix)
+
+    def announce_specific(self, network, deployment, specific_site, prefix, superprefix):
+        network.announce(deployment.site_node(specific_site), prefix)
 
 
 class ReactiveAnycast(Technique):
@@ -217,6 +288,30 @@ class ProactivePrepending(Technique):
                 neighbors = frozenset(n for n in network.neighbors(node) if n in shared)
             network.announce(node, prefix, prepend=self.prepend, neighbors=neighbors)
 
+    @property
+    def baseline_key(self) -> str:
+        # The restricted variant scopes its announcements to the
+        # specific site's neighbors, so its (empty) base plan must not
+        # share a snapshot with the unrestricted all-sites base.
+        if self.restrict_to_shared_neighbors:
+            return f"{self.name}+shared"
+        return self.name
+
+    def announce_base(self, network, deployment, prefix, superprefix):
+        if self.restrict_to_shared_neighbors:
+            return  # neighbor scoping depends on the specific site
+        # Every site starts prepended; the fork promotes the intended
+        # site by re-originating at prepend 0 (an in-place config change
+        # that re-exports -- the drain mechanism).
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), prefix, prepend=self.prepend)
+
+    def announce_specific(self, network, deployment, specific_site, prefix, superprefix):
+        if self.restrict_to_shared_neighbors:
+            self.announce_normal(network, deployment, specific_site, prefix, superprefix)
+            return
+        network.announce(deployment.site_node(specific_site), prefix)
+
 
 class ProactiveMed(Technique):
     """Anycast with MED-deterred backups (the §4 "BGP MED could also be
@@ -245,6 +340,15 @@ class ProactiveMed(Technique):
         for site in self._other_sites(deployment, specific_site):
             network.announce(deployment.site_node(site), prefix, med=self.backup_med)
 
+    def announce_base(self, network, deployment, prefix, superprefix):
+        # Every site starts as a MED-deterred backup; the fork promotes
+        # the intended site by re-originating at MED 0.
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), prefix, med=self.backup_med)
+
+    def announce_specific(self, network, deployment, specific_site, prefix, superprefix):
+        network.announce(deployment.site_node(specific_site), prefix, med=0)
+
 
 class Combined(Technique):
     """reactive-anycast + proactive-superprefix (§4's combined variant).
@@ -261,6 +365,13 @@ class Combined(Technique):
         network.announce(deployment.site_node(specific_site), prefix)
         for site in deployment.site_names:
             network.announce(deployment.site_node(site), superprefix)
+
+    def announce_base(self, network, deployment, prefix, superprefix):
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), superprefix)
+
+    def announce_specific(self, network, deployment, specific_site, prefix, superprefix):
+        network.announce(deployment.site_node(specific_site), prefix)
 
     def on_failure(self, network, deployment, failed_site, prefix, superprefix):
         for site in self._other_sites(deployment, failed_site):

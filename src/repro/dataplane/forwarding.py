@@ -26,7 +26,7 @@ from repro.net.lpm import LpmTrie
 from repro.net.packet import Packet
 from repro.telemetry import registry as telemetry_registry
 from repro.topology.generator import Topology
-from repro.topology.static_routes import StaticRoutes
+from repro.topology.static_routes import StaticRoutes, static_routes_for
 
 #: Packets are dropped after this many AS hops (transient loops).
 MAX_HOPS = 64
@@ -64,7 +64,6 @@ class ForwardingPlane:
     def __init__(self, network: BgpNetwork, topology: Topology) -> None:
         self.network = network
         self.topology = topology
-        self._static_cache: dict[str, StaticRoutes] = {}
         #: the newest dropped forwards, for diagnostics (ring buffer;
         #: ``dropped_total`` keeps the full count)
         self.drops: deque[ForwardResult] = deque(maxlen=DROP_LOG_LIMIT)
@@ -79,12 +78,13 @@ class ForwardingPlane:
     # Static direction (CDN -> client)
 
     def static_routes_to(self, dest_node: str) -> StaticRoutes:
-        """Cached static policy routes toward ``dest_node``."""
-        routes = self._static_cache.get(dest_node)
-        if routes is None:
-            routes = StaticRoutes(self.topology, dest_node)
-            self._static_cache[dest_node] = routes
-        return routes
+        """Cached static policy routes toward ``dest_node``.
+
+        The memo lives on the topology, not the plane: a solve is a
+        pure function of the AS graph, and the sweep builds a fresh
+        plane per cell -- per-plane caching re-solved the same
+        destinations for every cell of the matrix."""
+        return static_routes_for(self.topology, dest_node)
 
     def owner_of(self, address: IPv4Address) -> str | None:
         """The AS node whose client prefix contains ``address``.

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.topology.generator import Topology
-from repro.topology.static_routes import StaticRoutes
+from repro.topology.static_routes import static_routes_for
 from repro.topology.testbed import CdnDeployment
 
 
@@ -93,7 +93,7 @@ class SiteRttTable:
         per_client = self._rtts.get(client)
         if per_client is None:
             per_client = {}
-            routes = StaticRoutes(self.topology, client)
+            routes = static_routes_for(self.topology, client)
             for name in self.deployment.site_names:
                 rtt = routes.rtt_s(self.deployment.site_node(name))
                 if rtt is not None:

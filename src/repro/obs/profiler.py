@@ -4,8 +4,9 @@ The :class:`~repro.bgp.engine.EventEngine` processes tens of thousands
 of callbacks per Fig. 2-style run; the ROADMAP's "raw speed" work
 (checkpoint/fork, event batching) needs to know *which* callbacks the
 wall time actually goes to. :class:`EventProfiler` aggregates per
-callback qualname -- ``Session._mrai_expired``, ``Session._make_delivery
-.<locals>.deliver``, ``Prober.probe_once.<locals>.tick`` and friends are
+callback qualname -- ``Session._make_mrai_expiry.<locals>.mrai_expired``,
+``Session._make_delivery.<locals>.deliver``, ``Prober.probe_once
+.<locals>.tick`` and friends are
 each a distinct simulated event kind -- plus the phase-level wall-vs-sim
 breakdown the telemetry phases already measure.
 

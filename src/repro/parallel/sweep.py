@@ -26,8 +26,9 @@ the shared-state computation.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.checkpoint import NetworkSnapshot
 from repro.core.experiment import (
     FailoverConfig,
     FailoverExperiment,
@@ -67,16 +68,26 @@ class SweepShared:
     catchment: dict[str, str | None]
     hitlist: Hitlist
     selections: dict[str, TargetSelection]
+    #: per-technique converged base snapshots (checkpoint path); like
+    #: the selections, computed once in the parent so every worker forks
+    #: byte-identical baselines.
+    baselines: dict[str, NetworkSnapshot] = field(default_factory=dict)
+    use_checkpoint: bool = False
 
 
 def shared_state(experiment: FailoverExperiment, cells: list[SweepCell]) -> SweepShared:
     """Precompute the topology-only state every cell in ``cells`` needs.
 
     Forces the experiment's catchment/hitlist/selection caches for each
-    cell's ⟨site, selection mode⟩ so workers receive them ready-made.
+    cell's ⟨site, selection mode⟩ -- and, on the checkpoint path, each
+    technique's converged baseline snapshot -- so workers receive them
+    ready-made.
     """
     for cell in cells:
         experiment.selection_for(cell.site, mode=cell.technique.selection_mode)
+    if experiment.use_checkpoint:
+        for cell in cells:
+            experiment.baseline_for(cell.technique)
     return SweepShared(
         topology=experiment.topology,
         deployment=experiment.deployment,
@@ -84,6 +95,8 @@ def shared_state(experiment: FailoverExperiment, cells: list[SweepCell]) -> Swee
         catchment=experiment.catchment,
         hitlist=experiment.hitlist,
         selections=experiment.cached_selections(),
+        baselines=experiment.cached_baselines(),
+        use_checkpoint=experiment.use_checkpoint,
     )
 
 
@@ -96,6 +109,8 @@ def _run_cell(shared: SweepShared, cell: SweepCell) -> SiteFailoverResult:
         catchment=shared.catchment,
         hitlist=shared.hitlist,
         selections=shared.selections,
+        baselines=shared.baselines,
+        use_checkpoint=shared.use_checkpoint,
     )
     return experiment.run_site(cell.technique, cell.site)
 

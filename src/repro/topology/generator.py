@@ -87,6 +87,19 @@ class Topology:
     params: TopologyParams
     ases: dict[str, AsInfo] = field(default_factory=dict)
     links: list[Link] = field(default_factory=list)
+    #: memoized all-ASes static-route solves, keyed by destination node.
+    #: A solve depends only on the AS graph, never on BGP state, so it
+    #: is shared by every forwarding plane (and sweep cell) over this
+    #: topology instead of being re-solved per cell.
+    _static_routes: dict = field(default_factory=dict, repr=False, compare=False)
+    #: (n_ases, n_links) the memo was built against; growth invalidates
+    _static_routes_key: tuple = field(default=(0, 0), repr=False, compare=False)
+    #: lazily built {node: {neighbor: relationship}} adjacency index and
+    #: {(a, b): latency} link index -- pure functions of ``links``, so
+    #: they share the same growth-invalidation key as the route memo.
+    _adjacency: dict = field(default_factory=dict, repr=False, compare=False)
+    _latencies: dict = field(default_factory=dict, repr=False, compare=False)
+    _index_key: tuple = field(default=(-1, -1), repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Construction helpers (used by the generator and the testbed)
@@ -123,22 +136,52 @@ class Topology:
     def in_region(self, region: str) -> list[AsInfo]:
         return [info for info in self.ases.values() if info.location.region == region]
 
+    def static_routes_cache(self) -> dict:
+        """The shared static-route memo, cleared if the topology grew.
+
+        Callers (``ForwardingPlane.static_routes_to``) treat this as a
+        plain ``{dest_node: StaticRoutes}`` dict; the validity check
+        mirrors ``ForwardingPlane.owner_of``'s trie rebuild."""
+        key = (len(self.ases), len(self.links))
+        if self._static_routes_key != key:
+            self._static_routes = {}
+            self._static_routes_key = key
+        return self._static_routes
+
+    def _link_index(self) -> tuple[dict, dict]:
+        """Adjacency/latency indexes, rebuilt if the topology grew.
+
+        ``neighbors`` and ``link_latency`` used to scan ``links`` on
+        every call -- O(links) each, and both sit on the forwarding hot
+        path (every simulated hop resolves a latency), which dominated
+        per-cell cost in sweep profiles. One O(links) build amortises
+        them to dict lookups."""
+        key = (len(self.ases), len(self.links))
+        if self._index_key != key:
+            adjacency: dict[str, dict[str, Relationship]] = {}
+            latencies: dict[tuple[str, str], float] = {}
+            for link in self.links:
+                adjacency.setdefault(link.a, {})[link.b] = link.relationship
+                adjacency.setdefault(link.b, {})[link.a] = link.relationship.inverse()
+                latencies[(link.a, link.b)] = link.latency_s
+                latencies[(link.b, link.a)] = link.latency_s
+            self._adjacency = adjacency
+            self._latencies = latencies
+            self._index_key = key
+        return self._adjacency, self._latencies
+
     def neighbors(self, node_id: str) -> dict[str, Relationship]:
         """Neighbors of ``node_id`` with the relationship of each neighbor
-        from ``node_id``'s perspective."""
-        result: dict[str, Relationship] = {}
-        for link in self.links:
-            if link.a == node_id:
-                result[link.b] = link.relationship
-            elif link.b == node_id:
-                result[link.a] = link.relationship.inverse()
-        return result
+        from ``node_id``'s perspective (a fresh copy; mutate freely)."""
+        adjacency, _ = self._link_index()
+        return dict(adjacency.get(node_id, {}))
 
     def link_latency(self, a: str, b: str) -> float:
-        for link in self.links:
-            if {link.a, link.b} == {a, b}:
-                return link.latency_s
-        raise KeyError(f"no link {a!r} <-> {b!r}")
+        _, latencies = self._link_index()
+        try:
+            return latencies[(a, b)]
+        except KeyError:
+            raise KeyError(f"no link {a!r} <-> {b!r}") from None
 
     def hop_latency(self, last_concrete: str, a: str, b: str) -> float:
         """Latency of the hop ``a -> b`` on a path whose most recent

@@ -41,6 +41,21 @@ class StaticRoute:
     hops: int
 
 
+def static_routes_for(topology: Topology, dest: str) -> "StaticRoutes":
+    """Solve (or fetch the memoized) routes toward ``dest``.
+
+    A solve depends only on the AS graph, so every consumer -- the
+    forwarding plane, the hitlist proximity filter, the RTT tables --
+    shares one memo on the topology (see
+    :meth:`Topology.static_routes_cache`) instead of re-solving per
+    sweep cell."""
+    cache = topology.static_routes_cache()
+    routes = cache.get(dest)
+    if routes is None:
+        routes = cache[dest] = StaticRoutes(topology, dest)
+    return routes
+
+
 class StaticRoutes:
     """All-ASes best routes toward one destination node."""
 

@@ -196,3 +196,55 @@ class TestDampingInNetwork:
         )
         some_router = network.router(network.nodes()[0])
         assert some_router.damping is not None
+
+
+class TestSuppressedIndexEquivalence:
+    """The per-prefix ``_suppressed`` index is an optimization of what
+    used to be a scan over all flap state; it must agree with the
+    brute-force definition at every point of a random flap/decay
+    schedule."""
+
+    def brute_force(self, damping: RouteDamping, prefix: IPv4Prefix) -> set:
+        return {
+            neighbor
+            for (pfx, neighbor), state in damping._state.items()
+            if pfx == prefix and state.suppressed
+        }
+
+    def test_index_matches_brute_force_scan(self):
+        import random
+
+        engine = EventEngine()
+        damping = RouteDamping(engine, FAST_DAMPING, on_release=lambda p: None)
+        rng = random.Random(1234)
+        prefixes = [IPv4Prefix.parse(f"10.{i}.0.0/16") for i in range(4)]
+        neighbors = ["n1", "n2", "n3"]
+        for _ in range(400):
+            if rng.random() < 0.7:
+                damping.record_flap(rng.choice(prefixes), rng.choice(neighbors))
+            else:
+                # Let decay and release timers run.
+                engine.run_until(engine.now + rng.uniform(0.0, 25.0))
+            for prefix in prefixes:
+                assert damping.suppressed_neighbors(prefix) == self.brute_force(
+                    damping, prefix
+                )
+        # Drain: every suppression eventually releases and the index
+        # empties with the state.
+        engine.run_until_idle()
+        for prefix in prefixes:
+            assert damping.suppressed_neighbors(prefix) == set()
+        assert damping._suppressed == {}
+
+    def test_index_isolated_per_prefix(self):
+        engine = EventEngine()
+        damping = RouteDamping(engine, FAST_DAMPING, on_release=lambda p: None)
+        other = IPv4Prefix.parse("184.164.245.0/24")
+        for _ in range(2):
+            damping.record_flap(PFX, "n1")
+            damping.record_flap(other, "n2")
+        assert damping.suppressed_neighbors(PFX) == {"n1"}
+        assert damping.suppressed_neighbors(other) == {"n2"}
+        # Returned sets are copies: mutating one must not corrupt the index.
+        damping.suppressed_neighbors(PFX).add("intruder")
+        assert damping.suppressed_neighbors(PFX) == {"n1"}

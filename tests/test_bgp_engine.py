@@ -160,3 +160,45 @@ class TestCallbackErrorGuardRail:
         engine.schedule(1.0, lambda: seen.append(engine.now))
         engine.run_until_idle()
         assert seen == [1.0]
+
+
+class TestClockControl:
+    def test_peek_returns_next_event_time(self):
+        engine = EventEngine()
+        assert engine.peek() is None
+        engine.schedule(5.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.peek() == 2.0
+        engine.step()
+        assert engine.peek() == 5.0
+        engine.run_until_idle()
+        assert engine.peek() is None
+
+    def test_peek_does_not_consume(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda: None)
+        assert engine.peek() == engine.peek() == 1.0
+        assert engine.pending == 1
+
+    def test_warp_moves_idle_clock_forward(self):
+        engine = EventEngine()
+        engine.warp(42.5)
+        assert engine.now == 42.5
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(engine.now))
+        engine.run_until_idle()
+        assert seen == [43.5]
+
+    def test_warp_refuses_pending_events(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda: None)
+        with pytest.raises(RuntimeError, match="queued"):
+            engine.warp(10.0)
+
+    def test_warp_refuses_backwards(self):
+        engine = EventEngine()
+        engine.warp(10.0)
+        with pytest.raises(ValueError):
+            engine.warp(5.0)
+        engine.warp(10.0)  # warping to now is a no-op
+        assert engine.now == 10.0

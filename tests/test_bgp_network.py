@@ -106,6 +106,30 @@ class TestControlSurface:
         net.run_for(12.5)
         assert net.now == 12.5
 
+    def test_converge_deadline_clamps_clock(self):
+        """An event scheduled past the deadline must not run, and the
+        clock must stop *at* the deadline -- not overshoot to the
+        event's time (regression: converge used to step first and check
+        the deadline after)."""
+        net = build_line_network(2)
+        fired = []
+        net.engine.schedule(100.0, lambda: fired.append(net.now))
+        quiet = net.converge(max_seconds=5.0)
+        assert quiet == 5.0
+        assert net.now == 5.0
+        assert fired == []
+        assert net.engine.pending == 1  # the overdue event stays queued
+        # A later unbounded converge still runs it.
+        net.converge()
+        assert fired == [100.0]
+
+    def test_converge_deadline_runs_events_at_deadline(self):
+        net = build_line_network(2)
+        fired = []
+        net.engine.schedule(5.0, lambda: fired.append(net.now))
+        net.converge(max_seconds=5.0)
+        assert fired == [5.0]
+
     def test_determinism_for_fixed_seed(self):
         def run(seed):
             net = build_line_network(6, seed=seed, timing=SessionTiming(jitter=1.0, mrai=5.0))

@@ -197,3 +197,55 @@ class TestTimingModel:
         assert t.busy_prob == 0.45
         assert t.mrai_sigma == 1.5
         assert t.fib_delay == 2.5
+
+
+class ScriptedRng(random.Random):
+    """Deterministic stand-in: ``uniform`` pops scripted values."""
+
+    def __init__(self, uniforms):
+        super().__init__(0)
+        self._uniforms = list(uniforms)
+
+    def uniform(self, a, b):
+        return self._uniforms.pop(0)
+
+
+class TestEpochGuardsMraiTimer:
+    def test_stale_mrai_timer_is_inert_after_reopen(self):
+        """Regression: an MRAI timer armed before ``reopen`` used to fire
+        into the *new* epoch, clearing ``_mrai_running`` under the new
+        timer and flushing the new epoch's pending updates early.
+
+        Scripted draws (one jitter draw per flushed update, one duration
+        draw per timer): the pre-reopen timer lands at t=12, the
+        post-reopen timers at t=8 and t=20. An update queued at t=9 must
+        wait for the *legitimate* expiry at t=20, not leak out when the
+        stale t=12 timer fires.
+        """
+        engine = EventEngine()
+        arrivals = []
+        session = Session(
+            engine,
+            ScriptedRng([0.0, 12.0, 0.0, 8.0, 0.0, 12.0, 0.0, 12.0]),
+            "a",
+            "b",
+            Relationship.CUSTOMER,
+            lambda u: arrivals.append((engine.now, u)),
+            SessionTiming(latency=0.05, jitter=0.0, mrai=10.0),
+        )
+        session.send(ann(path=(1,)))        # flushed; stale timer armed @12
+        session.reopen()
+        session.send(ann(path=(2,)))        # flushed; new timer armed @8
+        session.send(ann(PFX2, path=(3,)))  # pending under the new timer
+        engine.run_until(9.0)               # t=8: timer fires, flushes PFX2,
+        #                                     re-arms @20
+        session.send(ann(path=(4,)))        # pending under the t=20 timer
+        engine.run_until(13.0)              # stale t=12 timer fires
+        # The stale timer must not have flushed path=(4,).
+        assert [u.as_path for _, u in arrivals] == [(2,), (3,)]
+        assert session._mrai_running
+        assert session._pending
+        engine.run_until_idle()
+        when, last = arrivals[-1]
+        assert last.as_path == (4,)
+        assert when >= 20.0
