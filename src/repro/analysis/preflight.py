@@ -32,9 +32,14 @@ from repro.topology.testbed import (
     SUPERPREFIX,
     CdnDeployment,
 )
+from repro.workload.profile import RATE_KINDS, WorkloadProfile
 
 #: event kinds understood by :class:`~repro.core.scenarios.ScenarioRunner`
 EVENT_KINDS = ("fail", "fail-silent", "recover", "drain", "undrain")
+
+#: expected request volumes past this trigger a PRE145 advisory (the
+#: stream is O(1) memory regardless, but the run time is linear in it)
+WORKLOAD_VOLUME_CEILING = 20_000_000
 
 #: MRAI values beyond this are treated as a misconfiguration smell (the
 #: RFC 4271 default is 30 s; the paper's profile uses a few seconds).
@@ -392,6 +397,122 @@ def check_run_shape(
 
 
 # ----------------------------------------------------------------------
+# Workload profiles
+
+
+def check_workload(
+    profile: WorkloadProfile | None, duration: float | None = None
+) -> list[Finding]:
+    """Validate a ``--workload`` profile before streaming from it.
+
+    The profile loader only type-checks; value ranges are validated here
+    so a hand-written JSON profile with a negative rate or a degenerate
+    Zipf exponent is refused with a stable code instead of raising (or
+    silently generating nothing) mid-run.
+    """
+    findings: list[Finding] = []
+    if profile is None:
+        return findings
+    source = f"workload profile {profile.name!r}"
+    if profile.base_rps <= 0:
+        findings.append(_error(
+            "PRE140",
+            f"base_rps {profile.base_rps:g} is not positive; the stream "
+            "would never produce a request",
+            source,
+        ))
+    if profile.zipf_s <= 0:
+        findings.append(_error(
+            "PRE141",
+            f"zipf_s {profile.zipf_s:g} must be positive (Zipf popularity "
+            "needs a decaying rank weight)",
+            source,
+        ))
+    if profile.content_zipf_s <= 0:
+        findings.append(_error(
+            "PRE141",
+            f"content_zipf_s {profile.content_zipf_s:g} must be positive",
+            source,
+        ))
+    if profile.n_contents < 1:
+        findings.append(_error(
+            "PRE141",
+            f"n_contents {profile.n_contents} must be at least 1",
+            source,
+        ))
+    if profile.tick_s <= 0:
+        findings.append(_error(
+            "PRE142", f"tick_s {profile.tick_s:g} is not positive", source
+        ))
+    if profile.think_time_s <= 0:
+        findings.append(_error(
+            "PRE142",
+            f"think_time_s {profile.think_time_s:g} is not positive; "
+            "user-minutes-lost would be zero or negative by construction",
+            source,
+        ))
+    for index, shape in enumerate(profile.shapes):
+        shape_source = f"{source} shape #{index + 1} ({shape.kind})"
+        if shape.kind not in RATE_KINDS:
+            findings.append(_error(
+                "PRE143",
+                f"unknown rate shape kind {shape.kind!r}; "
+                f"have {', '.join(RATE_KINDS)}",
+                shape_source,
+            ))
+            continue
+        if shape.kind == "constant" and shape.factor <= 0:
+            findings.append(_error(
+                "PRE140",
+                f"constant shape factor {shape.factor:g} is not positive",
+                shape_source,
+            ))
+        elif shape.kind == "diurnal":
+            if not 0 <= shape.amplitude < 1:
+                findings.append(_error(
+                    "PRE144",
+                    f"diurnal amplitude {shape.amplitude:g} outside [0, 1); "
+                    "the rate would go negative at the trough",
+                    shape_source,
+                ))
+            if shape.period_s <= 0:
+                findings.append(_error(
+                    "PRE144",
+                    f"diurnal period_s {shape.period_s:g} is not positive",
+                    shape_source,
+                ))
+        elif shape.kind == "flash-crowd":
+            if shape.peak_multiplier < 1:
+                findings.append(_error(
+                    "PRE144",
+                    f"flash-crowd peak_multiplier {shape.peak_multiplier:g} "
+                    "is below 1 (a flash crowd raises load)",
+                    shape_source,
+                ))
+            for attr in ("peak_at_s", "ramp_s", "decay_s"):
+                value = getattr(shape, attr)
+                if value < 0:
+                    findings.append(_error(
+                        "PRE144",
+                        f"flash-crowd {attr} {value:g} is negative",
+                        shape_source,
+                    ))
+    # Volume advisory only when the profile is otherwise valid: rate()
+    # on a malformed profile could raise or be meaningless.
+    if not findings and duration is not None and duration > 0:
+        expected = profile.expected_requests(duration)
+        if expected > WORKLOAD_VOLUME_CEILING:
+            findings.append(_warning(
+                "PRE145",
+                f"profile expects ~{expected:,.0f} requests over "
+                f"{duration:g}s (ceiling {WORKLOAD_VOLUME_CEILING:,}); "
+                "the stream is O(1) memory but run time is linear in this",
+                source,
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Aggregate entry point
 
 
@@ -408,6 +529,7 @@ def preflight_run(
     timing: SessionTiming | None = None,
     damping: DampingConfig | None = None,
     target_nodes: Sequence[str] | None = None,
+    workload: WorkloadProfile | None = None,
 ) -> FindingCollector:
     """Run every applicable pre-flight check for one experiment.
 
@@ -423,5 +545,6 @@ def preflight_run(
     collector.extend(check_timing(timing, damping))
     collector.extend(check_run_shape(duration, detection_delay))
     collector.extend(check_targets(deployment.topology, target_nodes))
+    collector.extend(check_workload(workload, duration))
     emit_findings(collector.findings, layer="preflight")
     return collector

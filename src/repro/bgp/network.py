@@ -46,6 +46,13 @@ class BgpNetwork:
         #: itertools.count so checkpoint snapshots can capture it.
         self._next_cause = 1
         self.current_cause = 0
+        #: monotone data-plane epoch: bumped on every FIB install anywhere
+        #: in the network, so forwarding caches (the workload catchment
+        #: cache) can detect "routing may have changed" with one int
+        #: compare instead of re-walking FIBs per lookup. Not part of a
+        #: checkpoint snapshot: a restored network starts at 0 and any
+        #: cache built against it starts cold.
+        self.route_version = 0
         self.default_timing = default_timing or SessionTiming()
         self.damping_config = damping
         self.routers: dict[str, BgpRouter] = {}
@@ -63,6 +70,9 @@ class BgpNetwork:
         #: unordered pair; survives fail/restore cycles so a loss window
         #: spanning a link flap keeps applying to the fresh sessions.
         self._link_loss: dict[frozenset[str], tuple[float, float]] = {}
+
+    def _bump_route_version(self) -> None:
+        self.route_version += 1
 
     # ------------------------------------------------------------------
     # Provenance
@@ -118,6 +128,10 @@ class BgpNetwork:
         if node_id in self.routers:
             raise ValueError(f"duplicate node id {node_id!r}")
         router = BgpRouter(node_id, asn)
+        # Wired here (not in BgpRouter) so checkpoint restore re-attaches
+        # the hook for free: restore_network rebuilds routers through
+        # this method.
+        router.on_fib_change = self._bump_route_version
         if self.default_timing.fib_delay > 0:
             mean = self.default_timing.fib_delay
 

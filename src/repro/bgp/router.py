@@ -77,6 +77,9 @@ class BgpRouter:
         self.fib_delay_source: Callable[[], tuple["EventEngine", float]] | None = None
         #: optional route flap damping, wired by BgpNetwork
         self.damping: "RouteDamping | None" = None
+        #: invoked after every FIB install, wired by BgpNetwork to bump
+        #: its ``route_version`` (forwarding-cache invalidation).
+        self.on_fib_change: Callable[[], None] | None = None
         #: provenance id of the root action currently being processed;
         #: set on entry (receive / originate / withdraw / session ops)
         #: and attached to every selection, FIB install, and export it
@@ -313,6 +316,8 @@ class BgpRouter:
         else:
             next_hop = best.learned_from or self.node_id
             self.fib.insert(prefix, next_hop)
+        if self.on_fib_change is not None:
+            self.on_fib_change()
         telemetry = self._telemetry
         if telemetry.enabled:
             self._fib_installs.inc()

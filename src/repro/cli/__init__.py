@@ -23,6 +23,8 @@
     repro lint src/repro               # determinism linter (DET rules)
     repro verify                       # static control-plane verifier (VER rules)
     repro verify tests/fixtures/verify/bad_gao_cycle.json
+    repro workload flash-crowd --sample 5   # inspect a traffic profile
+    repro scenario --workload flash-crowd   # stream requests through a run
 
 Every command accepts ``--seed`` and the experiment ones accept scale
 knobs, so results are reproducible and tunable without code. ``-v``
@@ -53,6 +55,7 @@ from repro.cli import (
     topology_cmd,
     trace_cmd,
     verify_cmd,
+    workload_cmd,
 )
 from repro.telemetry import logs
 
@@ -86,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
         obs_cmd,
         lint_cmd,
         verify_cmd,
+        workload_cmd,
     ):
         module.register(subparsers)
     return parser

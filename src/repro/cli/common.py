@@ -115,6 +115,34 @@ def report_sweep_failures(report) -> None:
         )
 
 
+def add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", metavar="PROFILE", default=None,
+        help="stream synthetic client traffic during the run: a builtin "
+             "profile name (constant, diurnal, flash-crowd) or a JSON "
+             "profile path (docs/workload.md); adds request-level loss "
+             "and user-minutes-lost accounting",
+    )
+
+
+def resolve_workload(args: argparse.Namespace):
+    """The parsed ``--workload`` profile, or None when the flag is absent.
+
+    Load errors (unknown builtin, unreadable/malformed JSON) print to
+    stderr and exit 2, matching the fault-plan loader convention.
+    """
+    spec = getattr(args, "workload", None)
+    if spec is None:
+        return None
+    from repro.workload import load_profile
+
+    try:
+        return load_profile(spec)
+    except (OSError, ValueError) as error:
+        print(f"cannot load workload profile: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
+
+
 def add_preflight_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-preflight", action="store_true",

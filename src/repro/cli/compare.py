@@ -66,6 +66,7 @@ def run(args: argparse.Namespace) -> int:
         if not run_preflight(
             args, experiment.deployment, technique=None,
             duration=args.duration, detection_delay=args.detection_delay,
+            workload=experiment.config.workload,
         ):
             return 2
         if not run_verify(
@@ -99,6 +100,19 @@ def run(args: argparse.Namespace) -> int:
             failover_cdfs[technique.name] = failover
             print(f"{technique.name:26s} {recon.n:4d} {recon.median():9.1f}s "
                   f"{failover.median():7.1f}s {failover.quantile(0.9):7.1f}s")
+
+        if experiment.config.workload is not None:
+            from repro.workload import merge_accounts, render_account
+
+            print("\nworkload (requests) per technique:")
+            for technique in techniques:
+                accounts = [
+                    r.workload for r in report.results_for(technique.name)
+                    if r.workload is not None
+                ]
+                if accounts:
+                    merged = merge_accounts(accounts)
+                    print(f"  {technique.name:26s} {render_account(merged)}")
 
         print("\nfailover time CDF across <failed site, target>:")
         print(render_cdfs(failover_cdfs))

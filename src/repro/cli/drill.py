@@ -9,7 +9,9 @@ from repro.cli.common import (
     add_parallel_arguments,
     add_preflight_arguments,
     add_telemetry_arguments,
+    add_workload_arguments,
     cell_timeout,
+    resolve_workload,
     run_preflight,
     run_verify,
     sweep_progress,
@@ -43,6 +45,7 @@ def register(subparsers) -> None:
         help="audit forwarding loops, advertised-sync, and RIB/FIB "
              "coherence after each site's drill settles",
     )
+    add_workload_arguments(parser)
     add_parallel_arguments(parser)
     add_preflight_arguments(parser)
     add_telemetry_arguments(parser)
@@ -63,9 +66,11 @@ def run(args: argparse.Namespace) -> int:
         clients = [
             info.node_id for info in deployment.topology.web_client_ases()
         ][: args.clients]
+        workload = resolve_workload(args)
         if not run_preflight(
             args, deployment, technique=technique,
             duration=args.deadline, target_nodes=clients,
+            workload=workload,
         ):
             return 2
         if not run_verify(
@@ -77,6 +82,7 @@ def run(args: argparse.Namespace) -> int:
             deployment.topology, deployment, technique,
             deadline_s=args.deadline, seed=args.seed,
             fault_plan=fault_plan, check_invariants=args.check_invariants,
+            workload=workload,
         )
         try:
             outcomes = drill.run_rotation(
@@ -105,6 +111,10 @@ def run(args: argparse.Namespace) -> int:
                 f"  {outcome.site:6s} recovered {outcome.recovered:3d}/{len(clients)}"
                 f"{chaos}  {status}"
             )
+            if outcome.workload is not None:
+                from repro.workload import render_account
+
+                print(f"         {render_account(outcome.workload)}")
             total_violations += len(outcome.violations)
             for violation in outcome.violations:
                 print(f"         invariant: {violation}")

@@ -10,8 +10,10 @@ from repro.cli.common import (
     add_parallel_arguments,
     add_preflight_arguments,
     add_telemetry_arguments,
+    add_workload_arguments,
     cell_timeout,
     report_sweep_failures,
+    resolve_workload,
     run_preflight,
     run_verify,
     telemetry_session,
@@ -44,6 +46,7 @@ def add_scale_arguments(parser: argparse.ArgumentParser) -> None:
              "forking the per-technique checkpoint (slower; the legacy "
              "numerics -- see docs/checkpoint.md)",
     )
+    add_workload_arguments(parser)
 
 
 def make_experiment(args: argparse.Namespace) -> FailoverExperiment:
@@ -54,6 +57,7 @@ def make_experiment(args: argparse.Namespace) -> FailoverExperiment:
         detection_delay=args.detection_delay,
         seed=args.seed,
         silent_failure=args.silent,
+        workload=resolve_workload(args),
     )
     return FailoverExperiment(
         deployment.topology,
@@ -92,6 +96,7 @@ def run(args: argparse.Namespace) -> int:
         if not run_preflight(
             args, experiment.deployment, technique=technique,
             duration=args.duration, detection_delay=args.detection_delay,
+            workload=experiment.config.workload,
         ):
             return 2
         if not run_verify(
@@ -122,4 +127,8 @@ def run(args: argparse.Namespace) -> int:
         print(f"failover:     {summarize([o.failover_s for o in result.outcomes]).row()}")
         landing = Counter(o.final_site for o in result.outcomes)
         print(f"serving sites after failover: {dict(landing)}")
+        if result.workload is not None:
+            from repro.workload import render_account
+
+            print(render_account(result.workload))
     return 0

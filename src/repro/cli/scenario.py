@@ -9,6 +9,8 @@ import sys
 from repro.cli.common import (
     add_preflight_arguments,
     add_telemetry_arguments,
+    add_workload_arguments,
+    resolve_workload,
     run_preflight,
     run_verify,
     telemetry_session,
@@ -57,6 +59,7 @@ def register(subparsers) -> None:
         help="JSON fault plan (docs/faults.md) armed at the start of "
              "the timeline",
     )
+    add_workload_arguments(parser)
     add_preflight_arguments(parser)
     add_telemetry_arguments(parser)
     parser.set_defaults(func=run)
@@ -76,10 +79,12 @@ def run(args: argparse.Namespace) -> int:
             print(f"unknown site {args.site!r}; have {deployment.site_names}")
             return 2
         events = args.event or [("fail", args.site, args.duration / 4)]
+        workload = resolve_workload(args)
         if not run_preflight(
             args, deployment,
             technique=technique_by_name(args.technique),
             events=events, duration=args.duration,
+            workload=workload,
         ):
             return 2
         if not run_verify(
@@ -108,6 +113,7 @@ def run(args: argparse.Namespace) -> int:
             recovery_grace=args.grace,
             seed=args.seed,
             fault_plan=fault_plan,
+            workload=workload,
         )
         for kind, site, at in events:
             runner.add_event(at, kind, site)
@@ -127,4 +133,8 @@ def run(args: argparse.Namespace) -> int:
         print(f"availability |{spark}| (one char per {result.bucket_s:.0f}s)")
         print(f"mean availability: {result.mean_availability():.1%}")
         print(f"downtime (<50% served): {result.downtime_s():.0f}s")
+        if result.workload is not None:
+            from repro.workload import render_account
+
+            print(render_account(result.workload))
     return 0

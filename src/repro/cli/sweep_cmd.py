@@ -84,6 +84,7 @@ def run(args: argparse.Namespace) -> int:
         if not run_preflight(
             args, experiment.deployment, technique=None,
             duration=args.duration, detection_delay=args.detection_delay,
+            workload=experiment.config.workload,
         ):
             return 2
         if not run_verify(
@@ -110,6 +111,17 @@ def run(args: argparse.Namespace) -> int:
             ]
             print(f"  {technique.name:26s} "
                   f"failover {summarize([o.failover_s for o in outcomes]).row()}")
+        if experiment.config.workload is not None:
+            from repro.workload import merge_accounts, render_account
+
+            for technique in techniques:
+                accounts = [
+                    r.workload for r in report.results_for(technique.name)
+                    if r.workload is not None
+                ]
+                if accounts:
+                    print(f"  {technique.name:26s} "
+                          f"{render_account(merge_accounts(accounts))}")
 
         path = save_json(args.output, sweep_report_to_dict(report))
         print(f"wrote {path}")

@@ -12,14 +12,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import zlib
+
 from repro.bgp.session import SessionTiming
 from repro.core.controller import CdnController
 from repro.core.techniques import Technique
+from repro.dataplane.forwarding import ForwardingPlane
 from repro.faults import FaultInjector, FaultPlan, check_invariants
 from repro.net.addr import IPv4Prefix
 from repro.telemetry import registry as telemetry_registry
 from repro.topology.generator import Topology
 from repro.topology.testbed import SECOND_PREFIX, SUPERPREFIX, CdnDeployment
+from repro.workload.engine import WorkloadAccount, WorkloadEngine
+from repro.workload.profile import WorkloadProfile
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +44,8 @@ class DrillOutcome:
     #: faults injected / skipped during this site's drill
     faults_injected: int = 0
     faults_skipped: int = 0
+    #: request-level accounting (None unless the drill had a workload)
+    workload: WorkloadAccount | None = None
 
     @property
     def passed(self) -> bool:
@@ -72,6 +79,9 @@ class RotationDrill:
     check_invariants: bool = False
     #: bound on the post-deadline settle time before the invariant audit
     settle_s: float = 3600.0
+    #: optional client traffic streamed through each site's deadline
+    #: window (resolved against the *test* prefix, like the drill itself)
+    workload: WorkloadProfile | None = None
     outcomes: list[DrillOutcome] = field(default_factory=list)
 
     def run_site(self, site: str, clients: list[str]) -> DrillOutcome:
@@ -100,6 +110,23 @@ class RotationDrill:
             injector = FaultInjector(network, self.fault_plan)
             injector.arm()
         controller.fail_site(site)
+        workload_engine: WorkloadEngine | None = None
+        if self.workload is not None:
+            workload_seed = (self.seed * 1000003) ^ zlib.crc32(
+                f"drill/{self.technique.name}/{site}/workload".encode()
+            )
+            workload_engine = WorkloadEngine(
+                ForwardingPlane(network, self.topology),
+                self.deployment,
+                self.workload,
+                seed=workload_seed,
+                clients=clients,
+                technique=self.technique.name,
+                site=site,
+                dead_sites={site},
+                dst=self.test_prefix.address(1),
+            )
+            workload_engine.start(self.deadline_s)
         network.run_for(self.deadline_s)
 
         recovered = 0
@@ -129,6 +156,7 @@ class RotationDrill:
             violations=violations,
             faults_injected=injector.injected if injector is not None else 0,
             faults_skipped=injector.skipped if injector is not None else 0,
+            workload=workload_engine.account if workload_engine is not None else None,
         )
         self.outcomes.append(outcome)
         return outcome

@@ -43,6 +43,8 @@ from repro.topology.testbed import (
     SUPERPREFIX,
     CdnDeployment,
 )
+from repro.workload.engine import WorkloadAccount, WorkloadEngine
+from repro.workload.profile import WorkloadProfile
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,6 +73,9 @@ class FailoverConfig:
     silent_failure: bool = False
     #: optional RFC 2439 route flap damping at every router
     damping: DampingConfig | None = None
+    #: optional client traffic streamed during the probe window
+    #: (``--workload``); adds request-level loss accounting to results
+    workload: WorkloadProfile | None = None
 
 
 @dataclass(slots=True)
@@ -84,6 +89,8 @@ class SiteFailoverResult:
     #: targets that were reachable at the site pre-failure
     controllable: dict[IPv4Address, str]
     outcomes: list[TargetOutcome] = field(default_factory=list)
+    #: request-level accounting (None unless the config set a workload)
+    workload: WorkloadAccount | None = None
 
     @property
     def controllable_frac(self) -> float:
@@ -332,6 +339,25 @@ class FailoverExperiment:
             prober.start(
                 controllable, interval=config.probe_interval, duration=config.probe_duration
             )
+            workload_engine: WorkloadEngine | None = None
+            if config.workload is not None:
+                # Its own RNG (never the network's) and read-only use of
+                # FIB state keep the workload from perturbing the run;
+                # sharing the prober's dead_sites set makes recoveries
+                # visible to requests the moment probing sees them.
+                workload_seed = (config.seed * 1000003) ^ zlib.crc32(
+                    f"{technique.name}/{site}/workload".encode()
+                )
+                workload_engine = WorkloadEngine(
+                    plane,
+                    self.deployment,
+                    config.workload,
+                    seed=workload_seed,
+                    technique=technique.name,
+                    site=site,
+                    dead_sites=prober.dead_sites,
+                )
+                workload_engine.start(config.probe_duration)
             network.run_for(config.probe_duration + config.drain_slack)
 
         with telemetry.phase("analyze", **tags):
@@ -343,6 +369,7 @@ class FailoverExperiment:
             selection=selection,
             controllable=controllable,
             outcomes=outcomes,
+            workload=workload_engine.account if workload_engine is not None else None,
         )
 
     def run_all_sites(

@@ -17,6 +17,7 @@ e.g. a few minutes per month").
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from repro.bgp.damping import DampingConfig
@@ -36,6 +37,8 @@ from repro.topology.testbed import (
     SUPERPREFIX,
     CdnDeployment,
 )
+from repro.workload.engine import WorkloadAccount, WorkloadEngine
+from repro.workload.profile import WorkloadProfile
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,6 +67,8 @@ class ScenarioReport:
     #: faults injected / skipped by the armed fault plan (0 without one)
     faults_injected: int = 0
     faults_skipped: int = 0
+    #: request-level accounting (None unless the runner had a workload)
+    workload: WorkloadAccount | None = None
 
     def availability(self) -> list[float]:
         """Per-bucket fraction of probes answered."""
@@ -112,6 +117,8 @@ class ScenarioRunner:
     #: optional chaos: armed after the initial convergence, so fault
     #: times share the epoch of the scripted :class:`ScenarioEvent`s
     fault_plan: FaultPlan | None = None
+    #: optional client traffic streamed through the episode
+    workload: WorkloadProfile | None = None
 
     # ------------------------------------------------------------------
 
@@ -191,12 +198,29 @@ class ScenarioRunner:
             prober.start(
                 targets, interval=self.probe_interval, duration=self.duration_s
             )
+            workload_engine: WorkloadEngine | None = None
+            if self.workload is not None:
+                workload_seed = (self.seed * 1000003) ^ zlib.crc32(
+                    f"scenario/{self.technique.name}/{focus_site}/workload".encode()
+                )
+                workload_engine = WorkloadEngine(
+                    plane,
+                    self.deployment,
+                    self.workload,
+                    seed=workload_seed,
+                    technique=self.technique.name,
+                    site=focus_site,
+                    dead_sites=prober.dead_sites,
+                )
+                workload_engine.start(self.duration_s)
             network.run_for(self.duration_s + 30.0)
 
         report = self._report(prober, capture, start)
         if injector is not None:
             report.faults_injected = injector.injected
             report.faults_skipped = injector.skipped
+        if workload_engine is not None:
+            report.workload = workload_engine.account
         return report
 
     def _schedule(self, network, controller, prober, event: ScenarioEvent) -> None:

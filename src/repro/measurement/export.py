@@ -52,7 +52,7 @@ def cdf_to_dict(cdf: Cdf) -> dict[str, Any]:
 
 
 def failover_result_to_dict(result: SiteFailoverResult) -> dict[str, Any]:
-    return {
+    payload = {
         "technique": result.technique,
         "site": result.site,
         "withdrawal_time": result.withdrawal_time,
@@ -67,6 +67,11 @@ def failover_result_to_dict(result: SiteFailoverResult) -> dict[str, Any]:
             Cdf.from_optional([o.failover_s for o in result.outcomes])
         ),
     }
+    # Optional key: only --workload runs carry request-level accounting,
+    # so workload-free archives stay byte-identical to older revisions.
+    if result.workload is not None:
+        payload["workload"] = result.workload.to_dict()
+    return payload
 
 
 def cell_result_to_dict(cell: Any, result: Any) -> dict[str, Any]:
@@ -105,7 +110,8 @@ def sweep_report_to_dict(report: Any) -> dict[str, Any]:
             technique_names.append(cell.technique.name)
     pooled: dict[str, Any] = {}
     for name in technique_names:
-        outcomes = [o for r in report.results_for(name) for o in r.outcomes]
+        results = report.results_for(name)
+        outcomes = [o for r in results for o in r.outcomes]
         pooled[name] = {
             "outcomes": [outcome_to_dict(o) for o in outcomes],
             "reconnection_cdf": cdf_to_dict(
@@ -115,6 +121,11 @@ def sweep_report_to_dict(report: Any) -> dict[str, Any]:
                 Cdf.from_optional([o.failover_s for o in outcomes])
             ),
         }
+        accounts = [r.workload for r in results if r.workload is not None]
+        if accounts:
+            from repro.workload import merge_accounts
+
+            pooled[name]["workload"] = merge_accounts(accounts).to_dict()
     return {
         "workers": report.workers,
         "wall_s": report.wall_s,

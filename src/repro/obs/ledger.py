@@ -41,6 +41,7 @@ from repro.telemetry.trace import (
     ProbeReply,
     ProbeSent,
     TraceEvent,
+    WorkloadSample,
 )
 
 #: schema tag carried by the JSON rendering (``repro report --json``)
@@ -87,11 +88,30 @@ class _TargetLog:
     outcomes: dict[int, str] = field(default_factory=dict)
 
 
-class AvailabilityLedger:
-    """Classified outage intervals plus their aggregation."""
+def _workload_bucket() -> dict:
+    return {
+        "offered": 0, "served": 0, "blackhole": 0, "loop": 0,
+        "wrong_site": 0, "user_seconds_lost": 0.0, "samples": 0,
+    }
 
-    def __init__(self, outages: list[Outage] | None = None) -> None:
+
+class AvailabilityLedger:
+    """Classified outage intervals plus their aggregation.
+
+    ``workload`` holds per-⟨technique, site⟩ request-level accounting
+    folded from :class:`WorkloadSample` events (empty for runs without a
+    ``--workload`` profile); probe-level outages and request-level loss
+    render side by side in ``repro report``.
+    """
+
+    def __init__(
+        self,
+        outages: list[Outage] | None = None,
+        workload: dict[tuple[str, str], dict] | None = None,
+    ) -> None:
         self.outages: list[Outage] = outages or []
+        #: (technique, site) -> workload aggregate (see _workload_bucket)
+        self.workload: dict[tuple[str, str], dict] = workload or {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -107,11 +127,21 @@ class AvailabilityLedger:
         """
         technique, site = "", ""
         logs: dict[tuple[str, str, str], _TargetLog] = {}
+        workload: dict[tuple[str, str], dict] = {}
         for event in events:
             if isinstance(event, PhaseStart):
                 tags = event.tags
                 if "technique" in tags and "site" in tags:
                     technique, site = str(tags["technique"]), str(tags["site"])
+            elif isinstance(event, WorkloadSample):
+                bucket = workload.setdefault((technique, site), _workload_bucket())
+                bucket["offered"] += event.offered
+                bucket["served"] += event.served
+                bucket["blackhole"] += event.blackhole
+                bucket["loop"] += event.loop
+                bucket["wrong_site"] += event.wrong_site
+                bucket["user_seconds_lost"] += event.user_seconds_lost
+                bucket["samples"] += 1
             elif isinstance(event, ProbeSent):
                 log = logs.setdefault((technique, site, event.target), _TargetLog())
                 log.sends.append((event.t, event.seq))
@@ -128,7 +158,7 @@ class AvailabilityLedger:
             outages.extend(
                 _intervals(run_technique, run_site, target, log)
             )
-        return cls(outages)
+        return cls(outages, workload)
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -166,6 +196,36 @@ class AvailabilityLedger:
                 bucket["targets_affected"].add(outage.target)
         return out
 
+    def workload_by_technique(self) -> dict[str, dict]:
+        """Per-technique workload aggregation (requests, not probes)."""
+        out: dict[str, dict] = {}
+        for (technique, site), bucket in self.workload.items():
+            tech = out.setdefault(technique, {**_workload_bucket(), "sites": {}})
+            per_site = tech["sites"].setdefault(site, _workload_bucket())
+            for target in (tech, per_site):
+                for key in (
+                    "offered", "served", "blackhole", "loop", "wrong_site",
+                    "user_seconds_lost", "samples",
+                ):
+                    target[key] += bucket[key]
+        return out
+
+    @staticmethod
+    def _workload_dict(bucket: dict) -> dict:
+        lost = bucket["blackhole"] + bucket["loop"] + bucket["wrong_site"]
+        return {
+            "offered": bucket["offered"],
+            "served": bucket["served"],
+            "lost": {
+                "blackhole": bucket["blackhole"],
+                "loop": bucket["loop"],
+                "wrong-site": bucket["wrong_site"],
+            },
+            "requests_lost": lost,
+            "user_seconds_lost": round(bucket["user_seconds_lost"], 6),
+            "user_minutes_lost": round(bucket["user_seconds_lost"] / 60.0, 6),
+        }
+
     def to_dict(self) -> dict:
         """Plain-data rendering with a schema tag and stable rounding."""
         techniques = {}
@@ -189,12 +249,23 @@ class AvailabilityLedger:
                     for site, data in tech["sites"].items()
                 },
             }
-        return {
+        out = {
             "schema": LEDGER_SCHEMA,
             "techniques": techniques,
             "total_user_seconds_lost": round(self.user_seconds_lost(), 6),
             "total_outages": len(self.outages),
         }
+        if self.workload:
+            workload = {}
+            for name, tech in self.workload_by_technique().items():
+                entry = self._workload_dict(tech)
+                entry["sites"] = {
+                    site: self._workload_dict(bucket)
+                    for site, bucket in tech["sites"].items()
+                }
+                workload[name] = entry
+            out["workload"] = workload
+        return out
 
     def to_json(self) -> str:
         """Canonical JSON: sorted keys, compact separators, newline-
@@ -261,6 +332,7 @@ def render_report(ledger: AvailabilityLedger) -> str:
     ]
     if not techniques:
         lines.append("(no probe activity in the trace)")
+        lines.extend(_render_workload(ledger))
         return "\n".join(lines)
     lines.append("")
     lines.append(
@@ -284,4 +356,36 @@ def render_report(ledger: AvailabilityLedger) -> str:
                 f"{site_class['wrong-site']:11.1f} {data['outages']:8d} "
                 f"{len(data['targets_affected']):8d}"
             )
+    lines.extend(_render_workload(ledger))
     return "\n".join(lines)
+
+
+def _render_workload(ledger: AvailabilityLedger) -> list[str]:
+    """Request-level workload table (empty when no ``--workload`` ran)."""
+    workload = ledger.workload_by_technique()
+    if not workload:
+        return []
+    lines = [
+        "",
+        "workload (requests):",
+        f"{'technique / site':26s} {'offered':>10s} {'served':>10s} "
+        f"{'blackhole':>10s} {'loop':>8s} {'wrong-site':>11s} "
+        f"{'user-min lost':>14s}",
+    ]
+    for name in sorted(workload):
+        tech = workload[name]
+        lines.append(
+            f"{name:26s} {tech['offered']:10d} {tech['served']:10d} "
+            f"{tech['blackhole']:10d} {tech['loop']:8d} "
+            f"{tech['wrong_site']:11d} "
+            f"{tech['user_seconds_lost'] / 60.0:14.1f}"
+        )
+        for site in sorted(tech["sites"]):
+            data = tech["sites"][site]
+            lines.append(
+                f"  {site:24s} {data['offered']:10d} {data['served']:10d} "
+                f"{data['blackhole']:10d} {data['loop']:8d} "
+                f"{data['wrong_site']:11d} "
+                f"{data['user_seconds_lost'] / 60.0:14.1f}"
+            )
+    return lines

@@ -174,6 +174,31 @@ class ProbeLost(TraceEvent):
 
 @_register
 @dataclass(frozen=True, slots=True)
+class WorkloadSample(TraceEvent):
+    """Aggregated workload classification for one engine tick.
+
+    The workload engine never traces per-request events -- a 1M-request
+    run would dwarf every other event kind combined -- it emits one
+    sample per non-empty tick with the tick's classification counts.
+    ``user_seconds_lost`` is ``(blackhole + loop + wrong_site) *
+    think_time_s``, computed at emission so the metric definition lives
+    in one place (see docs/workload.md). The availability ledger folds
+    samples into per-⟨technique, site⟩ workload aggregates using the
+    surrounding ``PhaseStart`` run context, exactly like probe events.
+    """
+
+    kind: ClassVar[str] = "workload_sample"
+
+    offered: int
+    served: int
+    blackhole: int = 0
+    loop: int = 0
+    wrong_site: int = 0
+    user_seconds_lost: float = 0.0
+
+
+@_register
+@dataclass(frozen=True, slots=True)
 class SiteSwitched(TraceEvent):
     """A target's replies moved from one serving site to another."""
 

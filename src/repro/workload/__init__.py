@@ -1,0 +1,54 @@
+"""Synthetic client traffic: streaming request workloads.
+
+The paper's availability argument is about user impact during BGP
+convergence; this package turns the probe-level view into user-level
+accounting. See ``docs/workload.md``.
+
+* :mod:`repro.workload.profile` -- pure-data workload descriptions
+  (rates, shapes, Zipf popularity, think time);
+* :mod:`repro.workload.stream` -- seed-stable iterator request
+  generation (never materializes the schedule);
+* :mod:`repro.workload.catchment` -- route-version-keyed resolution
+  cache over the live FIBs;
+* :mod:`repro.workload.engine` -- tick-driven classification into
+  served / lost / wrong-site and user-minutes-lost accounting.
+"""
+
+from repro.workload.catchment import CatchmentCache, Resolution
+from repro.workload.engine import (
+    WorkloadAccount,
+    WorkloadEngine,
+    merge_accounts,
+    render_account,
+)
+from repro.workload.profile import (
+    BUILTIN_PROFILES,
+    PROFILE_SCHEMA,
+    RATE_KINDS,
+    RateShape,
+    WorkloadProfile,
+    builtin_profile,
+    load_profile,
+    profile_from_dict,
+)
+from repro.workload.stream import Request, RequestStream, stream_digest
+
+__all__ = [
+    "BUILTIN_PROFILES",
+    "PROFILE_SCHEMA",
+    "RATE_KINDS",
+    "CatchmentCache",
+    "Request",
+    "RequestStream",
+    "Resolution",
+    "RateShape",
+    "WorkloadAccount",
+    "WorkloadEngine",
+    "WorkloadProfile",
+    "builtin_profile",
+    "load_profile",
+    "merge_accounts",
+    "profile_from_dict",
+    "render_account",
+    "stream_digest",
+]

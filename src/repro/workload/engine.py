@@ -1,0 +1,238 @@
+"""The workload engine: streams requests through live routing state.
+
+:class:`WorkloadEngine` attaches a :class:`~repro.workload.stream.RequestStream`
+to a running simulation. A self-rescheduling tick event (cadence
+``profile.tick_s`` on the simulation clock) drains the arrivals that
+fell due since the previous tick and classifies each against the
+*current* FIB state via the route-version-keyed
+:class:`~repro.workload.catchment.CatchmentCache`:
+
+* **served** -- delivered to a live CDN site;
+* **lost (blackhole)** -- no route while withdrawals converge;
+* **lost (loop)** -- caught in a transient forwarding loop (or TTL burn);
+* **lost (wrong-site)** -- delivered off-net under someone else's
+  covering prefix, or to a site that is down (stale FIBs, silent
+  failures).
+
+Every failed request strands its user for the profile's
+``think_time_s``; **user-minutes-lost** is ``failed_requests *
+think_time_s / 60``, accumulated per ⟨technique, site⟩ in a
+:class:`WorkloadAccount` and -- when telemetry is on -- emitted as
+aggregated :class:`~repro.telemetry.trace.WorkloadSample` events (one
+per non-empty tick, never per request, so traces stay bounded) for the
+availability ledger to fold.
+
+Determinism: the engine consumes only its stream's dedicated RNG and
+reads (never writes) network state, so attaching a workload does not
+perturb BGP convergence, probing, or the network RNG -- and the account
+is byte-identical serial vs ``--workers N`` and across checkpoint forks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.dataplane.forwarding import ForwardingPlane
+from repro.net.addr import IPv4Address
+from repro.telemetry import registry as telemetry_registry
+from repro.telemetry.trace import WorkloadSample
+from repro.topology.testbed import PROBE_SOURCE, CdnDeployment
+from repro.workload.catchment import CatchmentCache
+from repro.workload.profile import WorkloadProfile
+from repro.workload.stream import Request, RequestStream
+
+
+@dataclass(slots=True)
+class WorkloadAccount:
+    """Per-⟨technique, site⟩ offered-load and loss accounting."""
+
+    technique: str = ""
+    site: str = ""
+    offered: int = 0
+    served: int = 0
+    lost_blackhole: int = 0
+    lost_loop: int = 0
+    lost_wrong_site: int = 0
+    user_seconds_lost: float = 0.0
+    #: requests served per live site (the offered-load distribution)
+    served_by_site: dict[str, int] = field(default_factory=dict)
+    ticks: int = 0
+
+    @property
+    def lost(self) -> int:
+        return self.lost_blackhole + self.lost_loop + self.lost_wrong_site
+
+    @property
+    def loss_frac(self) -> float:
+        return self.lost / self.offered if self.offered else 0.0
+
+    @property
+    def user_minutes_lost(self) -> float:
+        return self.user_seconds_lost / 60.0
+
+    def to_dict(self) -> dict:
+        return {
+            "technique": self.technique,
+            "site": self.site,
+            "offered": self.offered,
+            "served": self.served,
+            "lost": {
+                "blackhole": self.lost_blackhole,
+                "loop": self.lost_loop,
+                "wrong-site": self.lost_wrong_site,
+            },
+            "loss_frac": round(self.loss_frac, 6),
+            "user_seconds_lost": round(self.user_seconds_lost, 6),
+            "user_minutes_lost": round(self.user_minutes_lost, 6),
+            "served_by_site": dict(sorted(self.served_by_site.items())),
+        }
+
+
+def merge_accounts(accounts: Iterable[WorkloadAccount]) -> WorkloadAccount:
+    """Sum per-cell accounts (e.g. one technique's row of a sweep)."""
+    merged = WorkloadAccount()
+    for account in accounts:
+        if not merged.technique:
+            merged.technique = account.technique
+        elif merged.technique != account.technique:
+            merged.technique = "pooled"
+        merged.site = "*"
+        merged.offered += account.offered
+        merged.served += account.served
+        merged.lost_blackhole += account.lost_blackhole
+        merged.lost_loop += account.lost_loop
+        merged.lost_wrong_site += account.lost_wrong_site
+        merged.user_seconds_lost += account.user_seconds_lost
+        merged.ticks += account.ticks
+        for site, count in account.served_by_site.items():
+            merged.served_by_site[site] = merged.served_by_site.get(site, 0) + count
+    return merged
+
+
+def render_account(account: WorkloadAccount) -> str:
+    """One-line summary (stable format; CI greps it)."""
+    return (
+        f"workload: {account.offered} requests offered, "
+        f"{account.lost} lost ({account.loss_frac:.1%}), "
+        f"{account.user_minutes_lost:.1f} user-minutes lost"
+    )
+
+
+class WorkloadEngine:
+    """Drives one run's request stream on the simulation clock."""
+
+    def __init__(
+        self,
+        plane: ForwardingPlane,
+        deployment: CdnDeployment,
+        profile: WorkloadProfile,
+        *,
+        seed: int,
+        clients: Sequence[str] | None = None,
+        technique: str = "",
+        site: str = "",
+        dead_sites: set[str] | None = None,
+        dst: IPv4Address = PROBE_SOURCE,
+    ) -> None:
+        self.plane = plane
+        self.deployment = deployment
+        self.profile = profile
+        self.seed = seed
+        if clients is None:
+            clients = [
+                info.node_id for info in plane.topology.web_client_ases()
+            ]
+        self.clients = list(clients)
+        #: shared with the prober when one exists, so site failures and
+        #: recoveries observed by probing apply to requests too
+        self.dead_sites: set[str] = dead_sites if dead_sites is not None else set()
+        self.cache = CatchmentCache(plane, deployment, dst)
+        self.account = WorkloadAccount(technique=technique, site=site)
+        self._telemetry = telemetry_registry.current()
+        self._epoch = 0.0
+        self._duration = 0.0
+        self._arrivals: "object | None" = None
+        self._pending: Request | None = None
+
+    # ------------------------------------------------------------------
+
+    def start(self, duration_s: float) -> None:
+        """Begin streaming: ticks run for ``duration_s`` simulated seconds
+        starting now. The caller advances the clock (``run_for``)."""
+        if duration_s <= 0:
+            return
+        engine = self.plane.network.engine
+        self._epoch = engine.now
+        self._duration = duration_s
+        stream = RequestStream(
+            self.profile, self.clients, duration_s, self.seed
+        )
+        arrivals = iter(stream)
+        self._arrivals = arrivals
+        self._pending = next(arrivals, None)
+        engine.schedule(min(self.profile.tick_s, duration_s), self._tick)
+
+    def _tick(self) -> None:
+        engine = self.plane.network.engine
+        elapsed = engine.now - self._epoch
+        self._drain(elapsed)
+        remaining = self._duration - elapsed
+        # The epsilon guard absorbs float residue in ``now - epoch``:
+        # without it the last tick can land a denormal short of the end
+        # and respawn millions of zero-length ticks.
+        if remaining > 1e-9:
+            engine.schedule(min(self.profile.tick_s, remaining), self._tick)
+
+    def _drain(self, elapsed: float) -> None:
+        """Classify every arrival due by ``elapsed`` against current FIBs."""
+        account = self.account
+        account.ticks += 1
+        resolve = self.cache.resolve
+        dead_sites = self.dead_sites
+        think = self.profile.think_time_s
+        offered = served = blackhole = loop = wrong_site = 0
+        request = self._pending
+        arrivals = self._arrivals
+        while request is not None and request.t <= elapsed:
+            offered += 1
+            resolution = resolve(request.client)
+            if resolution.reason is not None:
+                if resolution.reason == "no-route":
+                    blackhole += 1
+                else:
+                    loop += 1
+            elif resolution.site is None or resolution.site in dead_sites:
+                wrong_site += 1
+            else:
+                served += 1
+                by_site = account.served_by_site
+                by_site[resolution.site] = by_site.get(resolution.site, 0) + 1
+            request = next(arrivals, None)  # type: ignore[call-overload]
+        self._pending = request
+        if not offered:
+            return
+        failed = blackhole + loop + wrong_site
+        user_s = failed * think
+        account.offered += offered
+        account.served += served
+        account.lost_blackhole += blackhole
+        account.lost_loop += loop
+        account.lost_wrong_site += wrong_site
+        account.user_seconds_lost += user_s
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.inc("workload.requests", offered)
+            if failed:
+                telemetry.inc("workload.requests_lost", failed)
+            telemetry.emit(
+                WorkloadSample(
+                    t=telemetry.now(),
+                    offered=offered,
+                    served=served,
+                    blackhole=blackhole,
+                    loop=loop,
+                    wrong_site=wrong_site,
+                    user_seconds_lost=user_s,
+                )
+            )

@@ -1,0 +1,67 @@
+"""Documentation hygiene: no dangling links, full subsystem coverage."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+
+_spec = importlib.util.spec_from_file_location(
+    "check_doc_links", REPO_ROOT / "tools" / "check_doc_links.py"
+)
+check_doc_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_doc_links)
+
+
+def doc_pages() -> list[Path]:
+    return sorted(DOCS.glob("*.md"))
+
+
+class TestNoDanglingLinks:
+    def test_every_markdown_link_resolves(self):
+        broken = []
+        for path in check_doc_links.markdown_files(REPO_ROOT):
+            for lineno, target in check_doc_links.dangling_links(path, REPO_ROOT):
+                broken.append(f"{path.relative_to(REPO_ROOT)}:{lineno} -> {target}")
+        assert not broken, "dangling Markdown links:\n" + "\n".join(broken)
+
+    def test_checker_catches_breakage(self, tmp_path):
+        (tmp_path / "a.md").write_text("[gone](missing.md)\n")
+        found = check_doc_links.dangling_links(tmp_path / "a.md", tmp_path)
+        assert found == [(1, "missing.md")]
+
+    def test_checker_ignores_fenced_blocks_and_external(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "[x](https://example.com)\n"
+            "[y](#anchor)\n"
+            "```\n[z](missing.md)\n```\n"
+        )
+        assert check_doc_links.dangling_links(tmp_path / "a.md", tmp_path) == []
+
+
+class TestCoverage:
+    def test_index_links_every_docs_page(self):
+        index = (DOCS / "index.md").read_text()
+        missing = [
+            page.name
+            for page in doc_pages()
+            if page.name != "index.md" and f"({page.name})" not in index
+        ]
+        assert not missing, f"docs/index.md misses: {missing}"
+
+    def test_readme_links_every_docs_page(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        missing = [
+            page.name
+            for page in doc_pages()
+            if f"(docs/{page.name})" not in readme
+        ]
+        assert not missing, f"README.md misses: {missing}"
+
+    def test_reproducing_reaches_checkpoint_and_faults(self):
+        # The historical gap this suite exists to keep closed.
+        text = (DOCS / "reproducing.md").read_text()
+        assert "checkpoint.md" in text
+        assert "faults.md" in text

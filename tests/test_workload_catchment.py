@@ -1,0 +1,104 @@
+"""The catchment cache: correctness and route-version invalidation."""
+
+from repro.core.controller import CdnController
+from repro.core.techniques import ReactiveAnycast
+from repro.dataplane.forwarding import ForwardingPlane
+from repro.topology.testbed import SPECIFIC_PREFIX, SUPERPREFIX
+from repro.workload import CatchmentCache
+
+from tests.conftest import FAST_TIMING
+
+
+def converged_plane(deployment, seed=5):
+    network = deployment.topology.build_network(seed=seed, timing=FAST_TIMING)
+    controller = CdnController(
+        network=network,
+        deployment=deployment,
+        technique=ReactiveAnycast(),
+        prefix=SPECIFIC_PREFIX,
+        superprefix=SUPERPREFIX,
+        detection_delay=1.0,
+    )
+    controller.deploy("sea1")
+    network.converge()
+    return ForwardingPlane(network, deployment.topology), controller
+
+
+class TestResolution:
+    def test_matches_uncached_walk(self, deployment):
+        plane, _ = converged_plane(deployment)
+        cache = CatchmentCache(plane, deployment)
+        for info in deployment.topology.web_client_ases()[:10]:
+            resolution = cache.resolve(info.node_id)
+            result = plane.snapshot_path(info.node_id, cache.dst)
+            if result.delivered:
+                assert resolution.node == result.delivered_to
+                assert resolution.site == deployment.site_of_node(result.delivered_to)
+            else:
+                assert resolution.reason is not None
+
+    def test_hot_path_is_cached(self, deployment):
+        plane, _ = converged_plane(deployment)
+        cache = CatchmentCache(plane, deployment)
+        client = deployment.topology.web_client_ases()[0].node_id
+        first = cache.resolve(client)
+        assert cache.misses == 1
+        for _ in range(100):
+            assert cache.resolve(client) == first
+        assert cache.misses == 1
+        assert cache.hits == 100
+        assert cache.invalidations == 0
+
+
+class TestInvalidation:
+    def test_every_version_bump_invalidates(self, deployment):
+        """Property: any route_version move flushes the whole memo."""
+        plane, _ = converged_plane(deployment)
+        cache = CatchmentCache(plane, deployment)
+        clients = [i.node_id for i in deployment.topology.web_client_ases()[:5]]
+        for client in clients:
+            cache.resolve(client)
+        assert len(cache) == len(clients)
+        network = plane.network
+        for step in range(1, 6):
+            network.route_version += 1
+            cache.resolve(clients[0])
+            # The memo restarted from empty: only the one re-resolved entry.
+            assert len(cache) == 1
+            assert cache.invalidations == step
+            for client in clients[1:]:
+                cache.resolve(client)
+
+    def test_fib_install_bumps_route_version(self, deployment):
+        plane, controller = converged_plane(deployment)
+        network = plane.network
+        before = network.route_version
+        assert before > 0  # convergence installed plenty of FIB entries
+        controller.fail_site("sea1")
+        network.converge()
+        assert network.route_version > before
+
+    def test_reroute_changes_cached_answer(self, deployment):
+        plane, controller = converged_plane(deployment)
+        cache = CatchmentCache(plane, deployment)
+        # A client whose requests land at the deployed specific site.
+        client = next(
+            info.node_id
+            for info in deployment.topology.web_client_ases()
+            if cache.resolve(info.node_id).site == "sea1"
+        )
+        controller.fail_site("sea1")
+        plane.network.converge()
+        after = cache.resolve(client)
+        assert cache.invalidations >= 1
+        assert after.site != "sea1"
+
+    def test_stable_version_never_invalidates(self, deployment):
+        plane, _ = converged_plane(deployment)
+        cache = CatchmentCache(plane, deployment)
+        clients = [i.node_id for i in deployment.topology.web_client_ases()[:8]]
+        for _ in range(3):
+            for client in clients:
+                cache.resolve(client)
+        assert cache.invalidations == 0
+        assert cache.misses == len(clients)

@@ -1,0 +1,95 @@
+"""The request stream: seed stability, laziness, and popularity skew."""
+
+import itertools
+import resource
+
+import pytest
+
+from repro.workload import (
+    RequestStream,
+    WorkloadProfile,
+    builtin_profile,
+    stream_digest,
+)
+
+CLIENTS = [f"client-{i}" for i in range(40)]
+
+
+def make_stream(seed=7, duration=60.0, profile=None):
+    profile = profile or WorkloadProfile(name="t", base_rps=50.0)
+    return RequestStream(profile, CLIENTS, duration, seed)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        assert stream_digest(make_stream()) == stream_digest(make_stream())
+
+    def test_reiterating_one_stream_is_stable(self):
+        stream = make_stream()
+        assert list(stream) == list(stream)
+
+    def test_different_seed_differs(self):
+        assert stream_digest(make_stream(seed=1)) != stream_digest(make_stream(seed=2))
+
+    def test_seed_salt_decorrelates(self):
+        base = WorkloadProfile(name="t", base_rps=50.0)
+        salted = WorkloadProfile(name="t", base_rps=50.0, seed_salt=99)
+        a = stream_digest(make_stream(profile=base))
+        b = stream_digest(make_stream(profile=salted))
+        assert a != b
+
+    def test_arrivals_sorted_and_bounded(self):
+        times = [r.t for r in make_stream(duration=30.0)]
+        assert times == sorted(times)
+        assert all(0 <= t < 30.0 for t in times)
+
+
+class TestLaziness:
+    def test_iterator_not_materialized(self):
+        # A 10M-request window must cost nothing until consumed.
+        profile = WorkloadProfile(name="big", base_rps=10_000.0)
+        stream = RequestStream(profile, CLIENTS, 1_000.0, 3)
+        first_three = list(itertools.islice(iter(stream), 3))
+        assert len(first_three) == 3
+
+    def test_million_requests_bounded_memory(self):
+        """The ISSUE acceptance bound: ~1M requests, RSS growth < 50 MB."""
+        profile = builtin_profile("flash-crowd")
+        # ~200 rps base plus the crowd bump: >1M requests over 5000s.
+        stream = RequestStream(profile, CLIENTS, 5000.0, 11)
+        before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        count = 0
+        for _ in stream:
+            count += 1
+        after = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        assert count > 1_000_000
+        # ru_maxrss is KiB on Linux.
+        assert (after - before) < 50 * 1024
+
+    def test_zero_rate_yields_nothing(self):
+        profile = WorkloadProfile(name="t", base_rps=0.0)
+        assert list(RequestStream(profile, CLIENTS, 60.0, 1)) == []
+
+
+class TestPopularity:
+    def test_zipf_head_heavier_than_tail(self):
+        counts = {}
+        for request in make_stream(duration=200.0):
+            counts[request.client] = counts.get(request.client, 0) + 1
+        assert counts[CLIENTS[0]] > counts.get(CLIENTS[-1], 0) * 2
+
+    def test_contents_within_catalogue(self):
+        profile = WorkloadProfile(name="t", base_rps=50.0, n_contents=10)
+        contents = {r.content for r in make_stream(profile=profile)}
+        assert contents and all(0 <= c < 10 for c in contents)
+
+    def test_empty_clients_rejected(self):
+        with pytest.raises(ValueError):
+            RequestStream(WorkloadProfile(name="t"), [], 60.0, 1)
+
+
+class TestDigest:
+    def test_digest_format(self):
+        digest = stream_digest(make_stream(duration=10.0))
+        count, _, crc = digest.partition(":")
+        assert count.isdigit() and len(crc) == 8

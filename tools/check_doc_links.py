@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fail on dangling intra-repo Markdown links.
+
+Walks every ``*.md`` file in the repository, extracts relative link
+targets (``[text](target)``, images included), resolves each against
+the linking file's directory, and reports targets that do not exist.
+External links (``http://``, ``https://``, ``mailto:``) and pure
+anchors (``#section``) are ignored; anchor fragments on file links are
+stripped before the existence check. Links inside fenced code blocks
+are ignored, since those are command examples, not navigation.
+
+Usage::
+
+    python tools/check_doc_links.py [ROOT]
+
+Exits 0 when every link resolves, 1 otherwise (one line per dangling
+link: ``file:line: broken link -> target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: directories never worth scanning
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules", ".venv"}
+
+#: schemes that mark a link as external
+EXTERNAL = ("http://", "https://", "mailto:")
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def dangling_links(path: Path, root: Path) -> list[tuple[int, str]]:
+    """``(line_number, target)`` for every broken relative link."""
+    broken = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                broken.append((lineno, target))
+                continue
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    failures = 0
+    files = markdown_files(root)
+    for path in files:
+        for lineno, target in dangling_links(path, root):
+            rel = path.relative_to(root)
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} dangling link(s) across {len(files)} Markdown files")
+        return 1
+    print(f"OK: all intra-repo links resolve across {len(files)} Markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
