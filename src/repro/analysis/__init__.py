@@ -27,6 +27,7 @@ from repro.analysis.findings import (
 )
 from repro.analysis.linter import PARSE_ERROR_CODE, LintEngine, lint_paths
 from repro.analysis.preflight import (
+    check_capacity,
     check_deployment,
     check_events,
     check_prefix_plan,
@@ -34,6 +35,7 @@ from repro.analysis.preflight import (
     check_targets,
     check_timing,
     check_topology,
+    check_workload,
     preflight_run,
 )
 from repro.analysis.reporters import render_json, render_text
@@ -47,6 +49,7 @@ __all__ = [
     "PARSE_ERROR_CODE",
     "LintEngine",
     "lint_paths",
+    "check_capacity",
     "check_deployment",
     "check_events",
     "check_prefix_plan",
@@ -54,6 +57,7 @@ __all__ = [
     "check_targets",
     "check_timing",
     "check_topology",
+    "check_workload",
     "preflight_run",
     "render_json",
     "render_text",

@@ -32,10 +32,14 @@ from repro.topology.testbed import (
     SUPERPREFIX,
     CdnDeployment,
 )
+from repro.workload.capacity import CapacityProfile
 from repro.workload.profile import RATE_KINDS, WorkloadProfile
 
 #: event kinds understood by :class:`~repro.core.scenarios.ScenarioRunner`
-EVENT_KINDS = ("fail", "fail-silent", "recover", "drain", "undrain")
+EVENT_KINDS = (
+    "fail", "fail-silent", "recover", "drain", "undrain",
+    "brownout", "unbrownout",
+)
 
 #: expected request volumes past this trigger a PRE145 advisory (the
 #: stream is O(1) memory regardless, but the run time is linear in it)
@@ -108,7 +112,10 @@ def check_events(
 
     # Timeline consistency: replay the (time-sorted) events through a
     # per-site state machine, the order ScenarioRunner will use.
+    # Brownouts are orthogonal to up/drained/failed (a failed site's
+    # capacity is moot), so they get their own overlay set.
     state: dict[str, str] = {}
+    browned: set[str] = set()
     for at, kind, site in sorted(normalized, key=lambda item: item[0]):
         source = f"scenario event ({kind}:{site}@{at:g})"
         current = state.get(site, "up")
@@ -150,6 +157,31 @@ def check_events(
                     source,
                 ))
             state[site] = "up"
+        elif kind == "brownout":
+            if current == "failed":
+                findings.append(_warning(
+                    "PRE106",
+                    f"brownout of site {site!r} at {at:g}s while it is failed; "
+                    "a failed site serves nothing, so the capacity cut is moot",
+                    source,
+                ))
+            elif site in browned:
+                findings.append(_warning(
+                    "PRE106",
+                    f"site {site!r} browned out at {at:g}s but already "
+                    "browned out",
+                    source,
+                ))
+            browned.add(site)
+        elif kind == "unbrownout":
+            if site not in browned:
+                findings.append(_error(
+                    "PRE105",
+                    f"unbrownout of site {site!r} at {at:g}s, but no earlier "
+                    "brownout precedes it (timeline goes backwards)",
+                    source,
+                ))
+            browned.discard(site)
     return findings
 
 
@@ -513,6 +545,76 @@ def check_workload(
 
 
 # ----------------------------------------------------------------------
+# Capacity profiles
+
+
+def check_capacity(
+    capacity: CapacityProfile | None,
+    deployment: CdnDeployment | None = None,
+    workload: WorkloadProfile | None = None,
+) -> list[Finding]:
+    """Validate a ``--capacity`` profile before any load is offered.
+
+    Like workload profiles, the capacity loader only type-checks; value
+    sanity lives here: non-positive rates (PRE150), limits for sites the
+    deployment does not have (PRE151), a capacity model with no workload
+    to measure against (PRE152), and a total capacity the workload's
+    *baseline* rate already exceeds, which makes every technique --
+    shedding included -- lose requests by construction (PRE153).
+    """
+    findings: list[Finding] = []
+    if capacity is None:
+        return findings
+    source = f"capacity profile {capacity.name!r}"
+    if capacity.default_rps is not None and capacity.default_rps <= 0:
+        findings.append(_error(
+            "PRE150",
+            f"default_rps {capacity.default_rps:g} is not positive; every "
+            "unlisted site would serve nothing",
+            source,
+        ))
+    for site in sorted(capacity.site_rps):
+        rps = capacity.site_rps[site]
+        if rps <= 0:
+            findings.append(_error(
+                "PRE150",
+                f"site_rps[{site!r}] {rps:g} is not positive; the site "
+                "would serve nothing (fail it instead)",
+                source,
+            ))
+    if deployment is not None:
+        deployed = set(deployment.site_names)
+        for site in sorted(set(capacity.site_rps) - deployed):
+            findings.append(_error(
+                "PRE151",
+                f"site_rps names unknown site {site!r}; "
+                f"deployment has {deployment.site_names}",
+                source,
+            ))
+    if workload is None:
+        findings.append(_warning(
+            "PRE152",
+            "capacity profile given without a workload; nothing offers "
+            "load, so capacity limits have no effect on this run",
+            source,
+        ))
+    elif deployment is not None and not findings:
+        limits = [capacity.capacity_for(s) for s in deployment.site_names]
+        if all(limit is not None for limit in limits):
+            total = sum(limit for limit in limits if limit is not None)
+            if total < workload.base_rps:
+                findings.append(_warning(
+                    "PRE153",
+                    f"total deployed capacity {total:g} rps is below the "
+                    f"workload's baseline rate {workload.base_rps:g} rps; "
+                    "requests are lost to overload no matter how load is "
+                    "shed or shifted",
+                    source,
+                ))
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Aggregate entry point
 
 
@@ -530,6 +632,7 @@ def preflight_run(
     damping: DampingConfig | None = None,
     target_nodes: Sequence[str] | None = None,
     workload: WorkloadProfile | None = None,
+    capacity: CapacityProfile | None = None,
 ) -> FindingCollector:
     """Run every applicable pre-flight check for one experiment.
 
@@ -546,5 +649,6 @@ def preflight_run(
     collector.extend(check_run_shape(duration, detection_delay))
     collector.extend(check_targets(deployment.topology, target_nodes))
     collector.extend(check_workload(workload, duration))
+    collector.extend(check_capacity(capacity, deployment, workload))
     emit_findings(collector.findings, layer="preflight")
     return collector

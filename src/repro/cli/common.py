@@ -119,10 +119,34 @@ def add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workload", metavar="PROFILE", default=None,
         help="stream synthetic client traffic during the run: a builtin "
-             "profile name (constant, diurnal, flash-crowd) or a JSON "
-             "profile path (docs/workload.md); adds request-level loss "
-             "and user-minutes-lost accounting",
+             "profile name (constant, diurnal, flash-crowd, "
+             "regional-surge) or a JSON profile path (docs/workload.md); "
+             "adds request-level loss and user-minutes-lost accounting",
     )
+    parser.add_argument(
+        "--capacity", metavar="SPEC", default=None,
+        help="per-site serving capacity: a uniform requests/second number "
+             "or a JSON capacity profile path (docs/load.md); with "
+             "--workload, requests over a site's budget are lost to "
+             "overload and shedding techniques react",
+    )
+
+
+def resolve_capacity(args: argparse.Namespace):
+    """The parsed ``--capacity`` profile, or None when the flag is absent.
+
+    Load errors print to stderr and exit 2, like ``--workload``.
+    """
+    spec = getattr(args, "capacity", None)
+    if spec is None:
+        return None
+    from repro.workload import load_capacity
+
+    try:
+        return load_capacity(spec)
+    except (OSError, ValueError) as error:
+        print(f"cannot load capacity profile: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
 
 
 def resolve_workload(args: argparse.Namespace):
@@ -192,6 +216,8 @@ def run_verify(
     duration: float | None = None,
     damping=None,
     specific_site: str | None = None,
+    workload=None,
+    capacity=None,
 ) -> bool:
     """Statically verify the run's control-plane configuration.
 
@@ -214,6 +240,8 @@ def run_verify(
         fault_plan=fault_plan,
         duration=duration,
         damping=damping,
+        workload=workload,
+        capacity=capacity,
         source="<run>",
     )
     report = verify_world(world)

@@ -23,6 +23,9 @@ from repro.core.techniques import (
     ProactivePrepending,
     ProactiveSuperprefix,
     ReactiveAnycast,
+    ShedDns,
+    ShedPrepend,
+    ShedWithdraw,
 )
 from repro.measurement.plotting import render_cdfs
 from repro.measurement.stats import Cdf
@@ -61,16 +64,23 @@ def run(args: argparse.Namespace) -> int:
         ]
         if args.include_combined:
             techniques.append(Combined())
+        if experiment.config.workload is not None:
+            # Load-shedding variants only differentiate themselves under
+            # offered load; without --workload they are anycast clones.
+            techniques.extend([ShedPrepend(), ShedWithdraw(), ShedDns()])
         # technique=None validates the technique-independent plan (incl.
         # the superprefix geometry), which covers the whole sweep.
         if not run_preflight(
             args, experiment.deployment, technique=None,
             duration=args.duration, detection_delay=args.detection_delay,
             workload=experiment.config.workload,
+            capacity=experiment.config.capacity,
         ):
             return 2
         if not run_verify(
             args, experiment.deployment, techniques, duration=args.duration,
+            workload=experiment.config.workload,
+            capacity=experiment.config.capacity,
         ):
             return 2
 

@@ -11,6 +11,7 @@ from repro.cli.common import (
     add_telemetry_arguments,
     add_workload_arguments,
     cell_timeout,
+    resolve_capacity,
     resolve_workload,
     run_preflight,
     run_verify,
@@ -67,22 +68,25 @@ def run(args: argparse.Namespace) -> int:
             info.node_id for info in deployment.topology.web_client_ases()
         ][: args.clients]
         workload = resolve_workload(args)
+        capacity = resolve_capacity(args)
         if not run_preflight(
             args, deployment, technique=technique,
             duration=args.deadline, target_nodes=clients,
             workload=workload,
+            capacity=capacity,
         ):
             return 2
         if not run_verify(
             args, deployment, [technique],
             fault_plan=fault_plan, duration=args.deadline,
+            workload=workload, capacity=capacity,
         ):
             return 2
         drill = RotationDrill(
             deployment.topology, deployment, technique,
             deadline_s=args.deadline, seed=args.seed,
             fault_plan=fault_plan, check_invariants=args.check_invariants,
-            workload=workload,
+            workload=workload, capacity=capacity,
         )
         try:
             outcomes = drill.run_rotation(

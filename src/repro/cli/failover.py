@@ -13,6 +13,7 @@ from repro.cli.common import (
     add_workload_arguments,
     cell_timeout,
     report_sweep_failures,
+    resolve_capacity,
     resolve_workload,
     run_preflight,
     run_verify,
@@ -58,6 +59,7 @@ def make_experiment(args: argparse.Namespace) -> FailoverExperiment:
         seed=args.seed,
         silent_failure=args.silent,
         workload=resolve_workload(args),
+        capacity=resolve_capacity(args),
     )
     return FailoverExperiment(
         deployment.topology,
@@ -97,11 +99,14 @@ def run(args: argparse.Namespace) -> int:
             args, experiment.deployment, technique=technique,
             duration=args.duration, detection_delay=args.detection_delay,
             workload=experiment.config.workload,
+            capacity=experiment.config.capacity,
         ):
             return 2
         if not run_verify(
             args, experiment.deployment, [technique],
             duration=args.duration, specific_site=args.site,
+            workload=experiment.config.workload,
+            capacity=experiment.config.capacity,
         ):
             return 2
         print(f"failing {args.site} under {technique.name} "

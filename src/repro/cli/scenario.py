@@ -10,6 +10,7 @@ from repro.cli.common import (
     add_preflight_arguments,
     add_telemetry_arguments,
     add_workload_arguments,
+    resolve_capacity,
     resolve_workload,
     run_preflight,
     run_verify,
@@ -49,7 +50,8 @@ def register(subparsers) -> None:
         "-e", "--event", action="append", type=_parse_event, default=None,
         metavar="KIND:SITE@TIME",
         help="fail:sea1@60, fail-silent:sea1@60, recover:sea1@200, "
-             "drain:sea1@60, or undrain:sea1@200 (repeatable)",
+             "drain:sea1@60, undrain:sea1@200, brownout:sea1@60, or "
+             "unbrownout:sea1@200 (repeatable; brownouts need --capacity)",
     )
     parser.add_argument("--duration", type=float, default=300.0)
     parser.add_argument("--grace", type=float, default=30.0,
@@ -80,17 +82,21 @@ def run(args: argparse.Namespace) -> int:
             return 2
         events = args.event or [("fail", args.site, args.duration / 4)]
         workload = resolve_workload(args)
+        capacity = resolve_capacity(args)
         if not run_preflight(
             args, deployment,
             technique=technique_by_name(args.technique),
             events=events, duration=args.duration,
             workload=workload,
+            capacity=capacity,
         ):
             return 2
         if not run_verify(
             args, deployment, [technique_by_name(args.technique)],
             fault_plan=fault_plan, duration=args.duration,
             specific_site=args.site,
+            workload=workload,
+            capacity=capacity,
         ):
             return 2
         catchment = anycast_catchment(deployment.topology, deployment, seed=args.seed)
@@ -114,6 +120,7 @@ def run(args: argparse.Namespace) -> int:
             seed=args.seed,
             fault_plan=fault_plan,
             workload=workload,
+            capacity=capacity,
         )
         for kind, site, at in events:
             runner.add_event(at, kind, site)
@@ -137,4 +144,14 @@ def run(args: argparse.Namespace) -> int:
             from repro.workload import render_account
 
             print(render_account(result.workload))
+        if capacity is not None and workload is not None:
+            if result.capacity_violations:
+                print(
+                    f"capacity invariant: "
+                    f"{len(result.capacity_violations)} violation(s)"
+                )
+                for line in result.capacity_violations:
+                    print(f"  {line}")
+            else:
+                print("capacity invariant: ok")
     return 0

@@ -85,10 +85,13 @@ def run(args: argparse.Namespace) -> int:
             args, experiment.deployment, technique=None,
             duration=args.duration, detection_delay=args.detection_delay,
             workload=experiment.config.workload,
+            capacity=experiment.config.capacity,
         ):
             return 2
         if not run_verify(
             args, experiment.deployment, techniques, duration=args.duration,
+            workload=experiment.config.workload,
+            capacity=experiment.config.capacity,
         ):
             return 2
 

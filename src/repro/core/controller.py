@@ -20,6 +20,7 @@ from repro.net.addr import IPv4Prefix
 from repro.telemetry import registry as telemetry_registry
 from repro.telemetry.trace import DnsRecordChanged, SiteFailed
 from repro.topology.testbed import CdnDeployment
+from repro.workload.capacity import CapacityState
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,11 +63,16 @@ class CdnController:
     #: re-announces, so its routes propagate before the backups vanish
     recovery_grace: float = 0.0
     dns: AuthoritativeServer | None = None
+    #: per-run capacity view; set when a capacity profile is attached so
+    #: overload reactions can record DNS divert fractions
+    capacity_state: CapacityState | None = None
     failures: list[FailureEvent] = field(default_factory=list)
     #: the specific site of the last deploy(), for recovery
     deployed_site: str | None = None
     #: sites currently down; announcements are never (re)made from these
     down_sites: set = field(default_factory=set)
+    #: sites currently shed for overload (latched until cleared)
+    overloaded_sites: set = field(default_factory=set)
     #: DNS addresses of failed sites, kept for restoration on recovery
     _removed_dns: dict = field(default_factory=dict)
 
@@ -195,6 +201,54 @@ class CdnController:
                 self.superprefix,
             )
             self._enforce_down_sites()
+
+    def site_overloaded(self, site: str) -> None:
+        """The workload engine's overload signal for one site.
+
+        Mirrors :meth:`fail_site`'s control loop: the monitoring system
+        notices the overload after ``detection_delay`` seconds, and only
+        then does the technique's shedding reaction run. The site is
+        latched as overloaded until :meth:`site_overload_cleared`.
+        """
+        if site not in self.deployment.sites:
+            raise KeyError(f"unknown site {site!r}")
+        if site in self.overloaded_sites:
+            return
+        self.overloaded_sites.add(site)
+        cause = self.network.root_cause("site-overload", site, self.technique.name)
+        telemetry = telemetry_registry.current()
+        if telemetry.enabled:
+            telemetry.inc("controller.site_overloads")
+        self.network.engine.schedule(
+            self.detection_delay, lambda: self._react_overload(site, cause)
+        )
+
+    def _react_overload(self, site: str, cause: int = 0) -> None:
+        """The technique's delayed shedding reaction to an overload."""
+        if site not in self.overloaded_sites or site in self.down_sites:
+            return
+        with self.network.caused_by(cause):
+            self.technique.on_overload(
+                self.network, self.deployment, site, self.prefix, self.superprefix
+            )
+            self._enforce_down_sites()
+        fraction = self.technique.shed_dns_fraction
+        if self.capacity_state is not None and fraction > 0:
+            self.capacity_state.dns_divert[site] = fraction
+
+    def site_overload_cleared(self, site: str) -> None:
+        """Undo a shed once the site's capacity is back (un-brownout)."""
+        if site not in self.overloaded_sites:
+            return
+        self.overloaded_sites.discard(site)
+        cause = self.network.root_cause("site-overload-cleared", site)
+        with self.network.caused_by(cause):
+            self.technique.on_overload_cleared(
+                self.network, self.deployment, site, self.prefix, self.superprefix
+            )
+            self._enforce_down_sites()
+        if self.capacity_state is not None:
+            self.capacity_state.dns_divert.pop(site, None)
 
     def fail_site(self, site: str) -> FailureEvent:
         """Emulate a site failure right now.

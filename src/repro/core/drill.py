@@ -18,11 +18,17 @@ from repro.bgp.session import SessionTiming
 from repro.core.controller import CdnController
 from repro.core.techniques import Technique
 from repro.dataplane.forwarding import ForwardingPlane
-from repro.faults import FaultInjector, FaultPlan, check_invariants
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    check_invariants,
+    check_site_capacity,
+)
 from repro.net.addr import IPv4Prefix
 from repro.telemetry import registry as telemetry_registry
 from repro.topology.generator import Topology
 from repro.topology.testbed import SECOND_PREFIX, SUPERPREFIX, CdnDeployment
+from repro.workload.capacity import CapacityProfile, CapacityState
 from repro.workload.engine import WorkloadAccount, WorkloadEngine
 from repro.workload.profile import WorkloadProfile
 
@@ -82,6 +88,10 @@ class RotationDrill:
     #: optional client traffic streamed through each site's deadline
     #: window (resolved against the *test* prefix, like the drill itself)
     workload: WorkloadProfile | None = None
+    #: optional per-site serving capacity; with a workload, requests over
+    #: budget are lost to overload, the technique's shedding hooks fire,
+    #: and the invariant audit adds the site-capacity check
+    capacity: CapacityProfile | None = None
     outcomes: list[DrillOutcome] = field(default_factory=list)
 
     def run_site(self, site: str, clients: list[str]) -> DrillOutcome:
@@ -95,6 +105,11 @@ class RotationDrill:
 
     def _run_site(self, site: str, clients: list[str]) -> DrillOutcome:
         network = self.topology.build_network(seed=self.seed, timing=self.timing)
+        capacity_state: CapacityState | None = None
+        if self.capacity is not None and self.workload is not None:
+            capacity_state = CapacityState(
+                self.capacity, self.deployment.site_names
+            )
         controller = CdnController(
             network=network,
             deployment=self.deployment,
@@ -102,12 +117,13 @@ class RotationDrill:
             prefix=self.test_prefix,
             superprefix=SUPERPREFIX,
             detection_delay=self.detection_delay,
+            capacity_state=capacity_state,
         )
         controller.deploy(site)
         network.converge()
         injector = None
         if self.fault_plan is not None and len(self.fault_plan):
-            injector = FaultInjector(network, self.fault_plan)
+            injector = FaultInjector(network, self.fault_plan, capacity=capacity_state)
             injector.arm()
         controller.fail_site(site)
         workload_engine: WorkloadEngine | None = None
@@ -125,6 +141,12 @@ class RotationDrill:
                 site=site,
                 dead_sites={site},
                 dst=self.test_prefix.address(1),
+                capacity=capacity_state,
+                on_overload=(
+                    controller.site_overloaded
+                    if capacity_state is not None
+                    else None
+                ),
             )
             workload_engine.start(self.deadline_s)
         network.run_for(self.deadline_s)
@@ -147,7 +169,27 @@ class RotationDrill:
             # past the deadline) drain before auditing: the invariants
             # are only meaningful on a quiet network.
             network.converge(max_seconds=self.settle_s)
-            violations = tuple(check_invariants(network).format_lines())
+            found = check_invariants(network).violations
+            if capacity_state is not None and workload_engine is not None:
+                engine = workload_engine
+
+                def resolve(client: str) -> str | None:
+                    resolution = engine.cache.resolve(client)
+                    if resolution.reason is not None or resolution.site is None:
+                        return None
+                    if resolution.site in engine.dead_sites:
+                        return None
+                    return resolution.site
+
+                found = found + check_site_capacity(
+                    self.deployment,
+                    self.workload,
+                    capacity_state,
+                    engine.clients,
+                    resolve,
+                    regions=engine.regions,
+                )
+            violations = tuple(v.format() for v in found)
         outcome = DrillOutcome(
             site=site,
             recovered=recovered,

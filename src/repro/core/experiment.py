@@ -43,6 +43,7 @@ from repro.topology.testbed import (
     SUPERPREFIX,
     CdnDeployment,
 )
+from repro.workload.capacity import CapacityProfile, CapacityState
 from repro.workload.engine import WorkloadAccount, WorkloadEngine
 from repro.workload.profile import WorkloadProfile
 
@@ -76,6 +77,10 @@ class FailoverConfig:
     #: optional client traffic streamed during the probe window
     #: (``--workload``); adds request-level loss accounting to results
     workload: WorkloadProfile | None = None
+    #: optional per-site serving capacity (``--capacity``); requests
+    #: over a site's budget are lost to overload and the controller
+    #: reacts through the technique's shedding hooks
+    capacity: CapacityProfile | None = None
 
 
 @dataclass(slots=True)
@@ -275,6 +280,13 @@ class FailoverExperiment:
         # str hashes are salted per process; crc32 keeps runs reproducible.
         run_tag = zlib.crc32(f"{technique.name}/{site}".encode())
         run_seed = (config.seed * 1000003) ^ run_tag
+        # Capacity only binds when load is actually offered; without a
+        # workload the state would sit unread all run.
+        capacity_state: CapacityState | None = None
+        if config.capacity is not None and config.workload is not None:
+            capacity_state = CapacityState(
+                config.capacity, self.deployment.site_names
+            )
         if use_checkpoint:
             snapshot = self.baseline_for(technique)
             with telemetry.phase("fork-restore", **tags):
@@ -290,6 +302,7 @@ class FailoverExperiment:
                     prefix=SPECIFIC_PREFIX,
                     superprefix=SUPERPREFIX,
                     detection_delay=config.detection_delay,
+                    capacity_state=capacity_state,
                 )
                 controller.deploy_specific(site)
                 network.converge()
@@ -305,6 +318,7 @@ class FailoverExperiment:
                     prefix=SPECIFIC_PREFIX,
                     superprefix=SUPERPREFIX,
                     detection_delay=config.detection_delay,
+                    capacity_state=capacity_state,
                 )
                 controller.deploy(site)
                 network.converge()
@@ -356,6 +370,12 @@ class FailoverExperiment:
                     technique=technique.name,
                     site=site,
                     dead_sites=prober.dead_sites,
+                    capacity=capacity_state,
+                    on_overload=(
+                        controller.site_overloaded
+                        if capacity_state is not None
+                        else None
+                    ),
                 )
                 workload_engine.start(config.probe_duration)
             network.run_for(config.probe_duration + config.drain_slack)

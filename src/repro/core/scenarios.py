@@ -37,23 +37,49 @@ from repro.topology.testbed import (
     SUPERPREFIX,
     CdnDeployment,
 )
+from repro.workload.capacity import (
+    CapacityProfile,
+    CapacityState,
+    expected_site_load,
+)
 from repro.workload.engine import WorkloadAccount, WorkloadEngine
 from repro.workload.profile import WorkloadProfile
 
 
 @dataclass(frozen=True, slots=True)
 class ScenarioEvent:
-    """One scripted action at an absolute scenario time."""
+    """One scripted action at an absolute scenario time.
+
+    ``brownout`` scales the site's serving capacity down to ``factor``
+    of its configured value (the site keeps routing, just serves less);
+    ``unbrownout`` restores it and clears any shed the overload latched.
+    Both require a capacity profile to have any effect.
+    """
 
     at: float
     kind: str  # "fail" | "fail-silent" | "recover" | "drain" | "undrain"
+    #        | "brownout" | "unbrownout"
     site: str
+    #: capacity multiplier for "brownout" events (ignored otherwise)
+    factor: float = 0.5
 
     def __post_init__(self) -> None:
-        if self.kind not in ("fail", "fail-silent", "recover", "drain", "undrain"):
+        if self.kind not in (
+            "fail",
+            "fail-silent",
+            "recover",
+            "drain",
+            "undrain",
+            "brownout",
+            "unbrownout",
+        ):
             raise ValueError(f"unknown event kind {self.kind!r}")
         if self.at < 0:
             raise ValueError("event time must be non-negative")
+        if self.kind == "brownout" and not 0.0 <= self.factor < 1.0:
+            raise ValueError(
+                f"brownout factor must be in [0, 1), got {self.factor}"
+            )
 
 
 @dataclass(slots=True)
@@ -69,6 +95,9 @@ class ScenarioReport:
     faults_skipped: int = 0
     #: request-level accounting (None unless the runner had a workload)
     workload: WorkloadAccount | None = None
+    #: post-convergence "no site over capacity" violations, formatted
+    #: (empty without a capacity profile + workload)
+    capacity_violations: tuple[str, ...] = ()
 
     def availability(self) -> list[float]:
         """Per-bucket fraction of probes answered."""
@@ -119,11 +148,18 @@ class ScenarioRunner:
     fault_plan: FaultPlan | None = None
     #: optional client traffic streamed through the episode
     workload: WorkloadProfile | None = None
+    #: optional per-site serving capacity (enables overload accounting,
+    #: brownout events, and the post-convergence capacity invariant)
+    capacity: CapacityProfile | None = None
 
     # ------------------------------------------------------------------
 
-    def add_event(self, at: float, kind: str, site: str) -> "ScenarioRunner":
-        self.events.append(ScenarioEvent(at=at, kind=kind, site=site))
+    def add_event(
+        self, at: float, kind: str, site: str, factor: float = 0.5
+    ) -> "ScenarioRunner":
+        self.events.append(
+            ScenarioEvent(at=at, kind=kind, site=site, factor=factor)
+        )
         return self
 
     def fail(self, at: float, site: str) -> "ScenarioRunner":
@@ -142,6 +178,13 @@ class ScenarioRunner:
     def undrain(self, at: float, site: str) -> "ScenarioRunner":
         return self.add_event(at, "undrain", site)
 
+    def brownout(self, at: float, site: str, factor: float = 0.5) -> "ScenarioRunner":
+        """Reduce the site's serving capacity to ``factor`` of configured."""
+        return self.add_event(at, "brownout", site, factor=factor)
+
+    def unbrownout(self, at: float, site: str) -> "ScenarioRunner":
+        return self.add_event(at, "unbrownout", site)
+
     # ------------------------------------------------------------------
 
     def run(self) -> ScenarioReport:
@@ -149,6 +192,11 @@ class ScenarioRunner:
         network = self.topology.build_network(
             seed=self.seed, timing=self.timing, damping=self.damping
         )
+        capacity_state: CapacityState | None = None
+        if self.capacity is not None:
+            capacity_state = CapacityState(
+                self.capacity, self.deployment.site_names
+            )
         controller = CdnController(
             network=network,
             deployment=self.deployment,
@@ -157,12 +205,13 @@ class ScenarioRunner:
             superprefix=SUPERPREFIX,
             detection_delay=self.detection_delay,
             recovery_grace=self.recovery_grace,
+            capacity_state=capacity_state,
         )
         controller.deploy(self.specific_site)
         network.converge()
         injector = None
         if self.fault_plan is not None and len(self.fault_plan):
-            injector = FaultInjector(network, self.fault_plan)
+            injector = FaultInjector(network, self.fault_plan, capacity=capacity_state)
             injector.arm()
 
         plane = ForwardingPlane(network, self.topology)
@@ -184,9 +233,14 @@ class ScenarioRunner:
                 targets[info.prefix.address(1)] = info.node_id
 
         start = network.now
+        # Mutable cell: scripted events are scheduled before the
+        # workload engine exists, but brownout events must reach it.
+        engine_cell: list[WorkloadEngine | None] = [None]
         ordered = sorted(self.events, key=lambda e: e.at)
         for event in ordered:
-            self._schedule(network, controller, prober, event)
+            self._schedule(
+                network, controller, prober, event, capacity_state, engine_cell
+            )
         # The phase tags give the availability ledger its run context
         # (technique, site); the scenario's focus site is the first
         # scripted event's target, or the deploy site for a quiet run.
@@ -211,7 +265,14 @@ class ScenarioRunner:
                     technique=self.technique.name,
                     site=focus_site,
                     dead_sites=prober.dead_sites,
+                    capacity=capacity_state,
+                    on_overload=(
+                        controller.site_overloaded
+                        if capacity_state is not None
+                        else None
+                    ),
                 )
+                engine_cell[0] = workload_engine
                 workload_engine.start(self.duration_s)
             network.run_for(self.duration_s + 30.0)
 
@@ -221,9 +282,59 @@ class ScenarioRunner:
             report.faults_skipped = injector.skipped
         if workload_engine is not None:
             report.workload = workload_engine.account
+            if capacity_state is not None:
+                report.capacity_violations = self._check_capacity(
+                    network, workload_engine, capacity_state, prober
+                )
         return report
 
-    def _schedule(self, network, controller, prober, event: ScenarioEvent) -> None:
+    def _check_capacity(
+        self,
+        network,
+        workload_engine: WorkloadEngine,
+        capacity_state: CapacityState,
+        prober: Prober,
+    ) -> tuple[str, ...]:
+        """The post-convergence "no site over capacity" invariant.
+
+        Lets routing settle, then asks: if the workload's *peak* rate
+        were applied to the converged catchment, would any live site
+        exceed its effective capacity? Plain anycast under a regional
+        surge fails this (its catchment never moves); a converged shed
+        passes it.
+        """
+        from repro.faults.invariants import check_site_capacity
+
+        network.converge()
+
+        def resolve(client: str) -> str | None:
+            resolution = workload_engine.cache.resolve(client)
+            if resolution.reason is not None:
+                return None
+            site = resolution.site
+            if site is None or site in prober.dead_sites:
+                return None
+            return site
+
+        violations = check_site_capacity(
+            self.deployment,
+            self.workload,
+            capacity_state,
+            workload_engine.clients,
+            resolve,
+            regions=workload_engine.regions,
+        )
+        return tuple(v.format() for v in violations)
+
+    def _schedule(
+        self,
+        network,
+        controller,
+        prober,
+        event: ScenarioEvent,
+        capacity_state: CapacityState | None,
+        engine_cell: list,
+    ) -> None:
         def fire() -> None:
             if event.kind == "fail":
                 controller.fail_site(event.site)
@@ -235,6 +346,16 @@ class ScenarioRunner:
                 controller.drain_site(event.site)
             elif event.kind == "undrain":
                 controller.undrain_site(event.site)
+            elif event.kind == "brownout":
+                if capacity_state is not None:
+                    capacity_state.scale(event.site, event.factor)
+            elif event.kind == "unbrownout":
+                if capacity_state is not None:
+                    capacity_state.restore(event.site)
+                    controller.site_overload_cleared(event.site)
+                    engine = engine_cell[0]
+                    if engine is not None:
+                        engine.clear_overload(event.site)
             else:
                 controller.recover_site(event.site)
                 prober.dead_sites.discard(event.site)

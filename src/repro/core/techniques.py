@@ -19,6 +19,12 @@ In every case the failing site withdraws all of its announcements (§4:
 announcements"); DNS-side reactions are modelled separately in
 :mod:`repro.core.controller`.
 
+A second, load-shedding family (``shed-prepend``, ``shed-withdraw``,
+``shed-dns``; see docs/load.md) extends the same control axis to
+*capacity*, following the Sinha et al. anycast load-management line:
+all three run plain anycast normally and react to the workload engine's
+overload signal instead of (or in addition to) failures.
+
 Each class also carries the Table 2 qualitative attributes (control /
 availability / risk) so the Table 2 bench can assemble the matrix from
 the same objects the experiments run.
@@ -152,6 +158,46 @@ class Technique(abc.ABC):
         announcements; reactive techniques withdraw their emergency
         announcements here so control returns to the intended site.
         """
+
+    # ------------------------------------------------------------------
+    # Load shedding (docs/load.md)
+    #
+    # The overload hooks mirror on_failure/on_recovery: the workload
+    # engine latches a site whose offered load exceeds its serving
+    # capacity, and the controller calls on_overload after its
+    # detection delay. Unlike a failure, the overloaded site stays up
+    # and keeps serving at capacity -- the hook's job is to move *some*
+    # of its catchment elsewhere, not all of it.
+
+    #: fraction of an overloaded site's requests the DNS layer diverts
+    #: to the least-loaded live site (the DNS-weighted shedding hybrid);
+    #: 0 disables the DNS side entirely
+    shed_dns_fraction: float = 0.0
+
+    def on_overload(
+        self,
+        network: BgpNetwork,
+        deployment: CdnDeployment,
+        overloaded_site: str,
+        prefix: IPv4Prefix,
+        superprefix: IPv4Prefix,
+    ) -> None:
+        """Shed load off a site whose serving capacity is exhausted.
+
+        Default: nothing -- non-shedding techniques ignore overload and
+        keep losing the excess (that contrast is the point of the
+        overload scenarios).
+        """
+
+    def on_overload_cleared(
+        self,
+        network: BgpNetwork,
+        deployment: CdnDeployment,
+        site: str,
+        prefix: IPv4Prefix,
+        superprefix: IPv4Prefix,
+    ) -> None:
+        """Undo the shed once the site's capacity is back (un-brownout)."""
 
     # ------------------------------------------------------------------
 
@@ -382,7 +428,138 @@ class Combined(Technique):
             network.withdraw(deployment.site_node(site), prefix)
 
 
-#: The techniques compared in Figure 2 / Table 2, by canonical name.
+# ----------------------------------------------------------------------
+# Load-shedding family (docs/load.md)
+
+
+class ShedPrepend(Technique):
+    """Anycast that sheds an overloaded site by prepending there.
+
+    Normal operation is pure anycast. When the workload engine latches
+    a site as overloaded, the site re-originates its /24 with
+    ``prepend`` extra AS hops -- most of its catchment drains to
+    neighboring sites over pre-existing routes while clients with no
+    shorter alternative keep landing there (graceful degradation, not a
+    withdrawal). The shed is in-place re-origination, so no path
+    hunting: this is the brownout analogue of ``proactive-prepending``.
+    """
+
+    tradeoff = Tradeoff(control="medium", availability="high", risk="low")
+    full_control = False
+    selection_mode = "anycast-catchment"
+
+    def __init__(self, prepend: int = 5) -> None:
+        if prepend < 1:
+            raise ValueError(f"prepend must be >= 1, got {prepend}")
+        self.prepend = prepend
+        self.name = f"shed-prepend-{prepend}"
+
+    def announce_normal(self, network, deployment, specific_site, prefix, superprefix):
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), prefix)
+
+    def announce_base(self, network, deployment, prefix, superprefix):
+        # Identical to anycast: entirely site-independent.
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), prefix)
+
+    def announce_specific(self, network, deployment, specific_site, prefix, superprefix):
+        pass  # nothing is specific to the intended site
+
+    def on_overload(self, network, deployment, overloaded_site, prefix, superprefix):
+        network.announce(
+            deployment.site_node(overloaded_site), prefix, prepend=self.prepend
+        )
+
+    def on_overload_cleared(self, network, deployment, site, prefix, superprefix):
+        network.announce(deployment.site_node(site), prefix)
+
+
+class ShedWithdraw(Technique):
+    """Anycast that sheds an overloaded site by withdrawing its /24.
+
+    Every site announces both the /24 and the covering /23; shedding
+    withdraws only the overloaded site's /24, so longest-prefix matching
+    moves its entire catchment onto the other sites' /24s while the /23
+    keeps the site reachable as a last resort. Sheds *all* load (maximal
+    relief) at the price of withdrawal-driven path hunting -- the
+    high-risk end of the shedding family.
+    """
+
+    name = "shed-withdraw"
+    tradeoff = Tradeoff(control="medium", availability="medium", risk="high")
+    full_control = False
+    selection_mode = "anycast-catchment"
+
+    def announce_normal(self, network, deployment, specific_site, prefix, superprefix):
+        for site in deployment.site_names:
+            node = deployment.site_node(site)
+            network.announce(node, prefix)
+            network.announce(node, superprefix)
+
+    def announce_base(self, network, deployment, prefix, superprefix):
+        for site in deployment.site_names:
+            node = deployment.site_node(site)
+            network.announce(node, prefix)
+            network.announce(node, superprefix)
+
+    def announce_specific(self, network, deployment, specific_site, prefix, superprefix):
+        pass  # nothing is specific to the intended site
+
+    def on_overload(self, network, deployment, overloaded_site, prefix, superprefix):
+        network.withdraw(deployment.site_node(overloaded_site), prefix)
+
+    def on_overload_cleared(self, network, deployment, site, prefix, superprefix):
+        network.announce(deployment.site_node(site), prefix)
+
+
+class ShedDns(Technique):
+    """The DNS-weighted shedding hybrid: light prepend + DNS diversion.
+
+    On overload the site re-originates with a single prepend (a gentle
+    BGP nudge) and the authoritative DNS starts steering
+    ``shed_dns_fraction`` of the site's remaining requests to the live
+    site with the most spare capacity. BGP moves the coarse mass, DNS
+    trims the remainder at cache-TTL granularity -- the Sinha et al.
+    split between routing-layer and resolver-layer control.
+    """
+
+    tradeoff = Tradeoff(control="high", availability="high", risk="low")
+    full_control = False
+    selection_mode = "anycast-catchment"
+
+    def __init__(self, fraction: float = 0.5, prepend: int = 1) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if prepend < 0:
+            raise ValueError(f"prepend must be >= 0, got {prepend}")
+        self.shed_dns_fraction = fraction
+        self.prepend = prepend
+        self.name = "shed-dns"
+
+    def announce_normal(self, network, deployment, specific_site, prefix, superprefix):
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), prefix)
+
+    def announce_base(self, network, deployment, prefix, superprefix):
+        for site in deployment.site_names:
+            network.announce(deployment.site_node(site), prefix)
+
+    def announce_specific(self, network, deployment, specific_site, prefix, superprefix):
+        pass  # nothing is specific to the intended site
+
+    def on_overload(self, network, deployment, overloaded_site, prefix, superprefix):
+        if self.prepend:
+            network.announce(
+                deployment.site_node(overloaded_site), prefix, prepend=self.prepend
+            )
+
+    def on_overload_cleared(self, network, deployment, site, prefix, superprefix):
+        network.announce(deployment.site_node(site), prefix)
+
+
+#: The techniques compared in Figure 2 / Table 2 plus the load-shedding
+#: family, by canonical name.
 TECHNIQUES: dict[str, type[Technique]] = {
     "unicast": Unicast,
     "anycast": Anycast,
@@ -391,6 +568,9 @@ TECHNIQUES: dict[str, type[Technique]] = {
     "proactive-prepending": ProactivePrepending,
     "proactive-med": ProactiveMed,
     "combined": Combined,
+    "shed-prepend": ShedPrepend,
+    "shed-withdraw": ShedWithdraw,
+    "shed-dns": ShedDns,
 }
 
 

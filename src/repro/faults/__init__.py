@@ -1,10 +1,12 @@
 """Deterministic fault injection and runtime invariant checking.
 
 See ``docs/faults.md``: a :class:`FaultPlan` (JSON-loadable timeline of
-link flaps, session resets, message loss, delayed FIB downloads, and
-partial site failures) is armed by a :class:`FaultInjector` onto a
-network's event engine, and :func:`check_invariants` audits global
-consistency once the network goes quiet again.
+link flaps, session resets, message loss, delayed FIB downloads,
+partial site failures, and capacity brownouts) is armed by a
+:class:`FaultInjector` onto a network's event engine, and
+:func:`check_invariants` audits global consistency once the network
+goes quiet again (:func:`check_site_capacity` adds the workload-aware
+"no site over capacity" audit, see ``docs/load.md``).
 """
 
 from repro.faults.injector import FaultInjector
@@ -12,10 +14,12 @@ from repro.faults.invariants import (
     InvariantReport,
     Violation,
     check_invariants,
+    check_site_capacity,
     known_prefixes,
 )
 from repro.faults.plan import (
     FAULT_KINDS,
+    Brownout,
     Fault,
     FaultPlan,
     FaultSpec,
@@ -29,6 +33,7 @@ from repro.faults.plan import (
 
 __all__ = [
     "FAULT_KINDS",
+    "Brownout",
     "Fault",
     "FaultInjector",
     "FaultPlan",
@@ -41,6 +46,7 @@ __all__ = [
     "SessionReset",
     "Violation",
     "check_invariants",
+    "check_site_capacity",
     "known_prefixes",
     "load_fault_plan",
 ]

@@ -22,6 +22,7 @@ import random
 from repro.bgp.network import BgpNetwork
 from repro.bgp.router import BgpRouter
 from repro.faults.plan import (
+    Brownout,
     FaultPlan,
     FibDelay,
     LinkFlap,
@@ -31,6 +32,7 @@ from repro.faults.plan import (
 )
 from repro.telemetry import registry as telemetry_registry
 from repro.telemetry.trace import FaultInjected, FaultSkipped
+from repro.workload.capacity import CapacityState
 
 
 def _link_id(a: str, b: str) -> str:
@@ -45,9 +47,17 @@ class FaultInjector:
     callers without a telemetry backend installed.
     """
 
-    def __init__(self, network: BgpNetwork, plan: FaultPlan) -> None:
+    def __init__(
+        self,
+        network: BgpNetwork,
+        plan: FaultPlan,
+        capacity: CapacityState | None = None,
+    ) -> None:
         self.network = network
         self.plan = plan
+        #: capacity state brownout faults act on; None = no capacity
+        #: model in this run, so brownout faults skip
+        self.capacity = capacity
         self.rng = random.Random(plan.seed)
         self.injected = 0
         self.skipped = 0
@@ -72,6 +82,8 @@ class FaultInjector:
                 self._arm_fib_delay(fault)
             elif isinstance(fault, PartialSiteFailure):
                 self._arm_partial_site_failure(fault)
+            elif isinstance(fault, Brownout):
+                self._arm_brownout(fault)
             else:  # pragma: no cover - plan validation rejects these
                 raise TypeError(f"unknown fault {fault!r}")
 
@@ -226,6 +238,44 @@ class FaultInjector:
             return False
         router.fib_delay_source = source._fault_original
         return True
+
+    def _arm_brownout(self, fault: Brownout) -> None:
+        engine = self.network.engine
+        engine.schedule(fault.at, lambda: self._brownout_start(fault))
+        engine.schedule(
+            fault.at + fault.down_for, lambda: self._brownout_end(fault)
+        )
+
+    def _brownout_start(self, fault: Brownout) -> None:
+        capacity = self.capacity
+        if capacity is None:
+            self._skip("brownout-start", fault.site, "no capacity model armed")
+            return
+        if fault.site not in capacity.sites:
+            self._skip("brownout-start", fault.site, "unknown site")
+            return
+        if capacity.browned_out(fault.site):
+            self._skip("brownout-start", fault.site, "already browned out")
+            return
+        capacity.scale(fault.site, fault.factor)
+        self._fired(
+            "brownout-start",
+            fault.site,
+            f"factor={fault.factor}",
+            cause=self.network.new_cause("fault:brownout", fault.site),
+        )
+
+    def _brownout_end(self, fault: Brownout) -> None:
+        capacity = self.capacity
+        if capacity is None or not capacity.browned_out(fault.site):
+            self._skip("brownout-end", fault.site, "no brownout active")
+            return
+        capacity.restore(fault.site)
+        self._fired(
+            "brownout-end",
+            fault.site,
+            cause=self.network.new_cause("fault:brownout-end", fault.site),
+        )
 
     def _arm_partial_site_failure(self, fault: PartialSiteFailure) -> None:
         engine = self.network.engine

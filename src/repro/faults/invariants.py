@@ -41,6 +41,7 @@ from repro.telemetry.trace import InvariantViolated
 FORWARDING_LOOP = "forwarding-loop"
 ADVERTISED_SYNC = "advertised-sync"
 RIB_FIB_COHERENCE = "rib-fib-coherence"
+SITE_CAPACITY = "site-capacity"
 
 
 @dataclass(frozen=True, slots=True)
@@ -114,6 +115,64 @@ def check_invariants(
         prefixes_checked=len(prefixes),
         sessions_checked=sessions,
     )
+
+
+# ----------------------------------------------------------------------
+# site-capacity (post-convergence, workload-aware)
+
+
+def check_site_capacity(
+    deployment,
+    profile,
+    capacity_state,
+    clients,
+    resolve,
+    regions=None,
+) -> list[Violation]:
+    """The "no site over capacity post-convergence" invariant.
+
+    Separate from :func:`check_invariants` because it needs workload
+    context the network alone does not carry: the workload profile (for
+    the peak rate and client popularity weights), the deployment's
+    capacity state, and a resolver mapping each client to the site its
+    requests currently reach (None when they reach no live site).
+
+    A site violates when the *expected peak* offered load on the current
+    catchment -- each client's popularity share of ``profile.max_rate()``
+    -- exceeds its effective capacity. Plain anycast under a regional
+    surge fails this check (its catchment never moves); a converged
+    load shed passes it. Violations are reported through telemetry
+    exactly like the routing invariants.
+    """
+    from repro.workload.capacity import expected_site_load
+
+    loads = expected_site_load(profile, clients, resolve, regions)
+    violations: list[Violation] = []
+    for site in sorted(loads):
+        load = loads[site]
+        limit = capacity_state.effective_rps(site)
+        if load > limit:
+            violations.append(
+                Violation(
+                    SITE_CAPACITY,
+                    deployment.site_node(site),
+                    f"expected peak load {load:.1f} rps exceeds "
+                    f"capacity {limit:.1f} rps",
+                )
+            )
+    telemetry = telemetry_registry.current()
+    if telemetry.enabled and violations:
+        for violation in violations:
+            telemetry.inc("invariants.violations")
+            telemetry.emit(
+                InvariantViolated(
+                    t=telemetry.now(),
+                    invariant=violation.invariant,
+                    node=violation.node,
+                    detail=violation.detail,
+                )
+            )
+    return violations
 
 
 # ----------------------------------------------------------------------

@@ -186,7 +186,39 @@ class PartialSiteFailure(FaultSpec):
             raise ValueError(f"down_for must be positive, got {self.down_for}")
 
 
-Fault = Union[LinkFlap, SessionReset, MessageLoss, FibDelay, PartialSiteFailure]
+@_register
+@dataclass(frozen=True, slots=True)
+class Brownout(FaultSpec):
+    """Scale ``site``'s serving capacity to ``factor`` of configured for
+    ``down_for`` seconds (a cooling failure, a rack offline: the site
+    keeps routing but serves less).
+
+    Requires the run to carry a capacity profile; the injector skips the
+    fault (traced as such) when no capacity model is armed.
+    """
+
+    kind: ClassVar[str] = "brownout"
+
+    site: str = ""
+    factor: float = 0.5
+    down_for: float = 60.0
+
+    def __post_init__(self) -> None:
+        FaultSpec.__post_init__(self)
+        if not self.site:
+            raise ValueError("brownout needs a 'site'")
+        if not 0.0 <= self.factor < 1.0:
+            raise ValueError(
+                f"factor must be in [0, 1) -- a blackout is a fail event, "
+                f"not a brownout -- got {self.factor}"
+            )
+        if self.down_for <= 0:
+            raise ValueError(f"down_for must be positive, got {self.down_for}")
+
+
+Fault = Union[
+    LinkFlap, SessionReset, MessageLoss, FibDelay, PartialSiteFailure, Brownout
+]
 
 
 @dataclass(frozen=True, slots=True)

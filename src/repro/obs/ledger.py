@@ -91,7 +91,8 @@ class _TargetLog:
 def _workload_bucket() -> dict:
     return {
         "offered": 0, "served": 0, "blackhole": 0, "loop": 0,
-        "wrong_site": 0, "user_seconds_lost": 0.0, "samples": 0,
+        "wrong_site": 0, "overload": 0,
+        "user_seconds_lost": 0.0, "samples": 0,
     }
 
 
@@ -140,6 +141,7 @@ class AvailabilityLedger:
                 bucket["blackhole"] += event.blackhole
                 bucket["loop"] += event.loop
                 bucket["wrong_site"] += event.wrong_site
+                bucket["overload"] += event.overload
                 bucket["user_seconds_lost"] += event.user_seconds_lost
                 bucket["samples"] += 1
             elif isinstance(event, ProbeSent):
@@ -205,14 +207,17 @@ class AvailabilityLedger:
             for target in (tech, per_site):
                 for key in (
                     "offered", "served", "blackhole", "loop", "wrong_site",
-                    "user_seconds_lost", "samples",
+                    "overload", "user_seconds_lost", "samples",
                 ):
                     target[key] += bucket[key]
         return out
 
     @staticmethod
     def _workload_dict(bucket: dict) -> dict:
-        lost = bucket["blackhole"] + bucket["loop"] + bucket["wrong_site"]
+        lost = (
+            bucket["blackhole"] + bucket["loop"] + bucket["wrong_site"]
+            + bucket["overload"]
+        )
         return {
             "offered": bucket["offered"],
             "served": bucket["served"],
@@ -220,6 +225,7 @@ class AvailabilityLedger:
                 "blackhole": bucket["blackhole"],
                 "loop": bucket["loop"],
                 "wrong-site": bucket["wrong_site"],
+                "overload": bucket["overload"],
             },
             "requests_lost": lost,
             "user_seconds_lost": round(bucket["user_seconds_lost"], 6),
@@ -370,14 +376,14 @@ def _render_workload(ledger: AvailabilityLedger) -> list[str]:
         "workload (requests):",
         f"{'technique / site':26s} {'offered':>10s} {'served':>10s} "
         f"{'blackhole':>10s} {'loop':>8s} {'wrong-site':>11s} "
-        f"{'user-min lost':>14s}",
+        f"{'overload':>9s} {'user-min lost':>14s}",
     ]
     for name in sorted(workload):
         tech = workload[name]
         lines.append(
             f"{name:26s} {tech['offered']:10d} {tech['served']:10d} "
             f"{tech['blackhole']:10d} {tech['loop']:8d} "
-            f"{tech['wrong_site']:11d} "
+            f"{tech['wrong_site']:11d} {tech['overload']:9d} "
             f"{tech['user_seconds_lost'] / 60.0:14.1f}"
         )
         for site in sorted(tech["sites"]):
@@ -385,7 +391,7 @@ def _render_workload(ledger: AvailabilityLedger) -> list[str]:
             lines.append(
                 f"  {site:24s} {data['offered']:10d} {data['served']:10d} "
                 f"{data['blackhole']:10d} {data['loop']:8d} "
-                f"{data['wrong_site']:11d} "
+                f"{data['wrong_site']:11d} {data['overload']:9d} "
                 f"{data['user_seconds_lost'] / 60.0:14.1f}"
             )
     return lines

@@ -194,6 +194,9 @@ class WorkloadSample(TraceEvent):
     blackhole: int = 0
     loop: int = 0
     wrong_site: int = 0
+    #: requests dropped at a live site whose serving capacity ran out
+    #: (only nonzero when a capacity profile is attached)
+    overload: int = 0
     user_seconds_lost: float = 0.0
 
 
@@ -219,6 +222,28 @@ class SiteFailed(TraceEvent):
     site: str
     silent: bool = False
     #: provenance id of the failure (the root of its chain)
+    cause: int = 0
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class SiteOverloaded(TraceEvent):
+    """A site's offered load first exceeded its serving capacity.
+
+    Emitted once per site by the workload engine when a tick exhausts
+    the site's capacity budget (the overload latch); the controller's
+    shedding reaction is scheduled ``detection_delay`` later, exactly
+    like :class:`SiteFailed` for outages.
+    """
+
+    kind: ClassVar[str] = "site_overloaded"
+
+    site: str
+    #: offered request rate observed in the latching tick
+    offered_rps: float = 0.0
+    #: the site's effective capacity at that instant
+    capacity_rps: float = 0.0
+    #: provenance id of the overload reaction chain, when known
     cause: int = 0
 
 

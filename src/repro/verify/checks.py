@@ -11,6 +11,7 @@ Codes group by analysis:
 * VER21x — convergence: dispute wheels, prepending, damping
 * VER22x — symbolic announcement propagation / catchment
 * VER23x — fault-plan vacuity
+* VER24x — site capacity under the symbolic catchment
 
 Checks marked ``strict_only`` report *lost control opportunity* rather
 than outright misconfiguration; they stay silent unless the world (or
@@ -136,6 +137,26 @@ FAULT_VACUOUS = _register(VerifyCheck(
 PLAN_VACUOUS = _register(VerifyCheck(
     code="VER233", name="plan-vacuous",
     summary="fault plan or invariant window is provably without effect",
+    severity=Severity.WARNING,
+))
+
+# ----------------------------------------------------------------------
+# VER24x — site capacity
+
+SITE_OVER_CAPACITY = _register(VerifyCheck(
+    code="VER241", name="site-over-capacity",
+    summary="technique's symbolic catchment exceeds a site's capacity at peak",
+    severity=Severity.WARNING,
+))
+
+CAPACITY_UNKNOWN_SITE = _register(VerifyCheck(
+    code="VER242", name="capacity-unknown-site",
+    summary="capacity profile names a site the world does not deploy",
+))
+
+CAPACITY_VACUOUS = _register(VerifyCheck(
+    code="VER243", name="capacity-vacuous",
+    summary="capacity profile cannot constrain anything in this world",
     severity=Severity.WARNING,
 ))
 

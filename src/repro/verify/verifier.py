@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from repro import telemetry
 from repro.analysis.findings import Finding, FindingCollector, emit_findings
-from repro.verify import disputes, plans, safety, vacuity
+from repro.net.addr import IPv4Prefix
+from repro.verify import capacity, disputes, plans, safety, vacuity
 from repro.verify.checks import CHECKS
 from repro.verify.propagation import (
     Origination,
@@ -52,6 +53,12 @@ def verify_world(
     findings += safety.check_gao_cycle(world, graph)
     findings += safety.check_core_partition(world, graph)
     findings += safety.check_client_reach(world, graph)
+    findings += capacity.check_capacity_sites(world)
+    findings += capacity.check_capacity_vacuity(world)
+    client_regions = {
+        info.node_id: info.location.region
+        for info in world.topology.web_client_ases()
+    }
 
     cache: dict[tuple[frozenset[Origination], object], PropagationResult] = {}
     propagations = 0
@@ -80,7 +87,7 @@ def verify_world(
             technique, deployment, specific, world.prefix, world.superprefix
         )
         findings += plans.check_superprefix_cover(world, technique.name, plan)
-        results: dict[object, PropagationResult] = {}
+        results: dict[IPv4Prefix, PropagationResult] = {}
         for prefix in sorted({o.prefix for o in plan}):
             result = run_propagation(plan, prefix)
             results[prefix] = result
@@ -96,6 +103,9 @@ def verify_world(
             findings += disputes.check_prepend_insufficient(
                 world, technique, specific_result
             )
+        findings += capacity.check_site_over_capacity(
+            world, technique.name, results, client_regions
+        )
         findings += plans.check_site_dark(
             world, technique.name, plan,
             lambda o: run_propagation([o], o.prefix),

@@ -31,6 +31,8 @@ World JSON schema (all keys optional unless noted)::
       "damping": {"half_life": 900.0, ...},
       "duration": 300.0,
       "faults": {...} | "faults_path": "plan.json",
+      "workload": "regional-surge" | {...workload profile...},
+      "capacity": 250 | {...capacity profile...},
       "suppress": ["VER223"],        # per-world rule suppression
       "strict": false                # enable opportunity-cost rules
     }
@@ -62,6 +64,8 @@ from repro.topology.testbed import (
     SiteSpec,
     build_deployment,
 )
+from repro.workload.capacity import CapacityProfile, capacity_from_dict
+from repro.workload.profile import WorkloadProfile, builtin_profile, profile_from_dict
 
 _RELATIONSHIPS = {rel.value: rel for rel in Relationship}
 
@@ -92,6 +96,10 @@ class VerifyWorld:
     #: experiment duration the fault plan / damping run under, seconds
     duration: float | None = None
     fault_plan: FaultPlan | None = None
+    #: workload profile the capacity analysis evaluates load under
+    workload: WorkloadProfile | None = None
+    #: per-site capacity the VER24x checks verify against
+    capacity: CapacityProfile | None = None
     #: VER codes suppressed for this world (the fixture-level analogue
     #: of the linter's ``# repro: noqa[CODE]``)
     suppress: frozenset[str] = frozenset()
@@ -126,6 +134,8 @@ def default_world(
     duration: float | None = None,
     damping: DampingConfig | None = None,
     strict: bool = False,
+    workload: WorkloadProfile | None = None,
+    capacity: CapacityProfile | None = None,
 ) -> VerifyWorld:
     """The shipped testbed deployment as a verifiable world."""
     deployment = build_deployment(params=TopologyParams(seed=seed))
@@ -139,6 +149,8 @@ def default_world(
         duration=duration,
         damping=damping,
         strict=strict,
+        workload=workload,
+        capacity=capacity,
         description=f"testbed deployment (seed {seed})",
         source=f"<testbed:{seed}>",
     )
@@ -191,7 +203,7 @@ def world_from_dict(data: dict, source: str = "<world>") -> VerifyWorld:
         "description", "ases", "links", "sites", "techniques", "technique",
         "specific_site", "prepend", "prefix", "superprefix", "preferences",
         "damping", "duration", "faults", "faults_path", "suppress", "strict",
-        "seed",
+        "seed", "workload", "capacity",
     }
     unknown = set(data) - known
     if unknown:
@@ -263,6 +275,24 @@ def world_from_dict(data: dict, source: str = "<world>") -> VerifyWorld:
     elif "faults_path" in data:
         fault_plan = load_fault_plan(data["faults_path"])
 
+    workload = None
+    if "workload" in data:
+        raw = data["workload"]
+        if isinstance(raw, str):
+            workload = builtin_profile(raw)
+        else:
+            workload = profile_from_dict(raw, source=f"{source}:workload")
+
+    capacity = None
+    if "capacity" in data:
+        raw = data["capacity"]
+        if isinstance(raw, bool):
+            raise ValueError("capacity must be a number or a profile object")
+        if isinstance(raw, (int, float)):
+            capacity = CapacityProfile(name=f"uniform-{raw}", default_rps=float(raw))
+        else:
+            capacity = capacity_from_dict(raw, source=f"{source}:capacity")
+
     return VerifyWorld(
         deployment=deployment,
         techniques=techniques,
@@ -273,6 +303,8 @@ def world_from_dict(data: dict, source: str = "<world>") -> VerifyWorld:
         damping=damping,
         duration=float(data["duration"]) if "duration" in data else None,
         fault_plan=fault_plan,
+        workload=workload,
+        capacity=capacity,
         suppress=frozenset(data.get("suppress", [])),
         strict=bool(data.get("strict", False)),
         description=data.get("description", ""),

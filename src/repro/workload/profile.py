@@ -31,7 +31,7 @@ PROFILE_SCHEMA = "repro.workload-profile/1"
 RATE_KINDS = ("constant", "diurnal", "flash-crowd")
 
 #: builtin profile names (``--workload NAME``)
-BUILTIN_PROFILES = ("constant", "diurnal", "flash-crowd")
+BUILTIN_PROFILES = ("constant", "diurnal", "flash-crowd", "regional-surge")
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,6 +130,12 @@ class WorkloadProfile:
     #: mixed into the stream seed, so two otherwise-identical profiles
     #: can draw decorrelated streams
     seed_salt: int = 0
+    #: region whose clients get ``surge_weight`` times their Zipf weight
+    #: ("" = no regional bias); biases *which* clients issue requests,
+    #: never the arrival process, so the draw order stays seed-pure
+    surge_region: str = ""
+    #: popularity multiplier for clients in ``surge_region``
+    surge_weight: float = 1.0
 
     # ------------------------------------------------------------------
 
@@ -173,6 +179,8 @@ class WorkloadProfile:
             "think_time_s": self.think_time_s,
             "tick_s": self.tick_s,
             "seed_salt": self.seed_salt,
+            "surge_region": self.surge_region,
+            "surge_weight": self.surge_weight,
         }
 
 
@@ -200,6 +208,22 @@ def builtin_profile(name: str) -> WorkloadProfile:
                     peak_at_s=120.0, ramp_s=30.0, decay_s=120.0,
                 ),
             ),
+        )
+    if name == "regional-surge":
+        # A flash crowd concentrated in one region: us-east clients
+        # dominate the popularity table while the aggregate rate ramps,
+        # overloading whichever site their anycast catchment lands on.
+        return WorkloadProfile(
+            name="regional-surge",
+            base_rps=150.0,
+            shapes=(
+                RateShape(
+                    kind="flash-crowd", peak_multiplier=4.0,
+                    peak_at_s=90.0, ramp_s=30.0, decay_s=180.0,
+                ),
+            ),
+            surge_region="us-east",
+            surge_weight=6.0,
         )
     raise ValueError(
         f"unknown builtin workload profile {name!r}; have {', '.join(BUILTIN_PROFILES)}"
@@ -256,9 +280,9 @@ def profile_from_dict(data: dict, source: str = "<dict>") -> WorkloadProfile:
             continue
         if key not in _PROFILE_FIELDS:
             raise ValueError(f"{source}: unknown profile key {key!r}")
-        if key == "name":
+        if key in ("name", "surge_region"):
             if not isinstance(value, str):
-                raise ValueError(f"{source}: name must be a string")
+                raise ValueError(f"{source}: {key} must be a string")
             kwargs[key] = value
         elif key == "shapes":
             if not isinstance(value, list):

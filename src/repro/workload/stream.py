@@ -31,7 +31,7 @@ import random
 import zlib
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.workload.profile import WorkloadProfile
 
@@ -58,6 +58,32 @@ def zipf_cumulative(n: int, s: float) -> list[float]:
     return out
 
 
+def client_weight_table(
+    profile: WorkloadProfile,
+    clients: Sequence[str],
+    regions: Mapping[str, str] | None = None,
+) -> list[float]:
+    """Cumulative client popularity: Zipf rank weight x surge multiplier.
+
+    Regional surges (``profile.surge_region``) bias the table *values*
+    only -- never the number or order of RNG draws -- so a surging and a
+    non-surging stream with the same seed stay draw-for-draw aligned.
+    Shared by :class:`RequestStream` and the capacity invariant's
+    expected-load arithmetic so the two can never disagree.
+    """
+    surge = profile.surge_region
+    weight = profile.surge_weight
+    total = 0.0
+    out: list[float] = []
+    for rank, client in enumerate(clients, start=1):
+        w = rank ** -profile.zipf_s
+        if surge and regions is not None and regions.get(client) == surge:
+            w *= weight
+        total += w
+        out.append(total)
+    return out
+
+
 class RequestStream:
     """Iterable over one run's request arrivals (re-iterable: each
     ``iter()`` restarts an identical stream from the same seed)."""
@@ -68,6 +94,7 @@ class RequestStream:
         clients: Sequence[str],
         duration_s: float,
         seed: int,
+        regions: Mapping[str, str] | None = None,
     ) -> None:
         if not clients:
             raise ValueError("request stream needs at least one client AS")
@@ -75,7 +102,7 @@ class RequestStream:
         self.clients = list(clients)
         self.duration_s = duration_s
         self.seed = seed ^ profile.seed_salt
-        self._client_cum = zipf_cumulative(len(self.clients), profile.zipf_s)
+        self._client_cum = client_weight_table(profile, self.clients, regions)
         self._content_cum = zipf_cumulative(
             max(1, profile.n_contents), profile.content_zipf_s
         )

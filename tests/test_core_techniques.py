@@ -9,6 +9,9 @@ from repro.core.techniques import (
     ProactivePrepending,
     ProactiveSuperprefix,
     ReactiveAnycast,
+    ShedDns,
+    ShedPrepend,
+    ShedWithdraw,
     Technique,
     Unicast,
     technique_by_name,
@@ -147,12 +150,80 @@ class TestTable2Attributes:
         assert Unicast().selection_mode == "beyond-anycast"
 
 
+class TestShedTechniques:
+    """The load-shedding family: announcement shape and overload hooks."""
+
+    def fresh_net(self, deployment):
+        return deployment.topology.build_network(seed=2, timing=FAST_TIMING)
+
+    @pytest.mark.parametrize("factory", [ShedPrepend, ShedWithdraw, ShedDns])
+    def test_base_plus_specific_matches_normal(self, deployment, factory):
+        """Checkpoint forking replays announce_base then announce_specific;
+        the decomposition must reproduce announce_normal exactly."""
+        technique = factory()
+        normal = self.fresh_net(deployment)
+        technique.announce_normal(
+            normal, deployment, "sea1", SPECIFIC_PREFIX, SUPERPREFIX
+        )
+        forked = self.fresh_net(deployment)
+        technique.announce_base(forked, deployment, SPECIFIC_PREFIX, SUPERPREFIX)
+        technique.announce_specific(
+            forked, deployment, "sea1", SPECIFIC_PREFIX, SUPERPREFIX
+        )
+        for site in deployment.site_names:
+            assert originated(normal, deployment, site) == originated(
+                forked, deployment, site
+            ), site
+
+    def test_shed_prepend_reoriginates_with_prepend(self, setup):
+        dep, net = setup
+        technique = ShedPrepend(prepend=4)
+        deploy(technique, dep, net)
+        technique.on_overload(net, dep, "msn", SPECIFIC_PREFIX, SUPERPREFIX)
+        assert net.router(dep.site_node("msn")).origin_config(SPECIFIC_PREFIX).prepend == 4
+        technique.on_overload_cleared(net, dep, "msn", SPECIFIC_PREFIX, SUPERPREFIX)
+        assert net.router(dep.site_node("msn")).origin_config(SPECIFIC_PREFIX).prepend == 0
+
+    def test_shed_withdraw_pulls_specific_keeps_cover(self, setup):
+        dep, net = setup
+        technique = ShedWithdraw()
+        deploy(technique, dep, net)
+        assert originated(net, dep, "msn") == {SPECIFIC_PREFIX, SUPERPREFIX}
+        technique.on_overload(net, dep, "msn", SPECIFIC_PREFIX, SUPERPREFIX)
+        assert originated(net, dep, "msn") == {SUPERPREFIX}
+        technique.on_overload_cleared(net, dep, "msn", SPECIFIC_PREFIX, SUPERPREFIX)
+        assert originated(net, dep, "msn") == {SPECIFIC_PREFIX, SUPERPREFIX}
+
+    def test_shed_dns_fraction_and_nudge(self, setup):
+        dep, net = setup
+        technique = ShedDns(fraction=0.4, prepend=1)
+        assert technique.shed_dns_fraction == 0.4
+        deploy(technique, dep, net)
+        technique.on_overload(net, dep, "msn", SPECIFIC_PREFIX, SUPERPREFIX)
+        assert net.router(dep.site_node("msn")).origin_config(SPECIFIC_PREFIX).prepend == 1
+
+    def test_passive_techniques_have_inert_overload_hooks(self, setup):
+        dep, net = setup
+        deploy(Anycast(), dep, net)
+        before = originated(net, dep, "msn")
+        Anycast().on_overload(net, dep, "msn", SPECIFIC_PREFIX, SUPERPREFIX)
+        assert originated(net, dep, "msn") == before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShedPrepend(0)
+        with pytest.raises(ValueError):
+            ShedDns(fraction=0.0)
+        with pytest.raises(ValueError):
+            ShedDns(fraction=1.5)
+
+
 class TestFactory:
     def test_all_registered(self):
         assert set(TECHNIQUES) == {
             "unicast", "anycast", "proactive-superprefix",
             "reactive-anycast", "proactive-prepending", "proactive-med",
-            "combined",
+            "combined", "shed-prepend", "shed-withdraw", "shed-dns",
         }
 
     def test_by_name_with_kwargs(self):

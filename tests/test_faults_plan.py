@@ -31,7 +31,7 @@ class TestValidation:
     def test_all_kinds_registered(self):
         assert set(FAULT_KINDS) == {
             "link_flap", "session_reset", "message_loss", "fib_delay",
-            "partial_site_failure",
+            "partial_site_failure", "brownout",
         }
 
     def test_negative_time_rejected(self):

@@ -41,6 +41,9 @@ EXPECTED = {
     "bad_fault_unknown": frozenset({"VER231"}),
     "bad_fault_vacuous": frozenset({"VER232"}),
     "bad_plan_vacuous": frozenset({"VER233"}),
+    "bad_over_capacity": frozenset({"VER241"}),
+    "bad_capacity_unknown": frozenset({"VER242"}),
+    "bad_capacity_vacuous": frozenset({"VER243"}),
 }
 
 
